@@ -1,0 +1,100 @@
+//! Graphviz (`dot`) export of BDDs — the standard way to eyeball a
+//! predicate when a verifier disagrees with its oracle.
+
+use crate::manager::BddManager;
+use crate::node::Ref;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+impl BddManager {
+    /// Render `f` as a Graphviz digraph. Solid edges are the
+    /// high/then branches, dashed edges the low/else branches;
+    /// variables may be given display names via `var_names` (falls
+    /// back to `x<i>`).
+    pub fn to_dot(&self, f: Ref, var_names: &[&str]) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  f0 [label=\"0\", shape=box];\n");
+        out.push_str("  f1 [label=\"1\", shape=box];\n");
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n <= 1 || !seen.insert(n) {
+                continue;
+            }
+            let (var, low, high) = self.node_parts(n);
+            let name = var_names
+                .get(var as usize)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("x{var}"));
+            let _ = writeln!(out, "  n{n} [label=\"{name}\", shape=circle];");
+            let _ = writeln!(out, "  n{n} -> {} [style=dashed];", node_ref(low));
+            let _ = writeln!(out, "  n{n} -> {};", node_ref(high));
+            stack.push(low);
+            stack.push(high);
+        }
+        match f.0 {
+            0 => out.push_str("  root -> f0; root [shape=point];\n"),
+            1 => out.push_str("  root -> f1; root [shape=point];\n"),
+            n => {
+                let _ = writeln!(out, "  root [shape=point];\n  root -> n{n};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn node_ref(n: u32) -> String {
+    match n {
+        0 => "f0".to_string(),
+        1 => "f1".to_string(),
+        n => format!("n{n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::EngineProfile;
+    use crate::node::{FALSE, TRUE};
+
+    #[test]
+    fn terminals_render() {
+        let m = BddManager::new(2, EngineProfile::Cached);
+        let dot = m.to_dot(TRUE, &[]);
+        assert!(dot.contains("root -> f1"));
+        let dot = m.to_dot(FALSE, &[]);
+        assert!(dot.contains("root -> f0"));
+    }
+
+    #[test]
+    fn one_node_per_distinct_subfunction() {
+        let mut m = BddManager::new(3, EngineProfile::Cached);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let dot = m.to_dot(f, &["a", "b", "c"]);
+        // Two decision nodes (a and b) plus terminals.
+        assert_eq!(dot.matches("shape=circle").count(), 2);
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+        assert!(dot.contains("digraph bdd"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn unnamed_variables_get_indices() {
+        let mut m = BddManager::new(4, EngineProfile::Cached);
+        let v = m.var(3);
+        let dot = m.to_dot(v, &[]);
+        assert!(dot.contains("label=\"x3\""));
+    }
+
+    #[test]
+    fn node_count_matches_size_of() {
+        let mut m = BddManager::new(6, EngineProfile::Cached);
+        let f = m.field_range(0, 6, 10, 43);
+        let dot = m.to_dot(f, &[]);
+        assert_eq!(dot.matches("shape=circle").count(), m.size_of(f));
+    }
+}

@@ -1,0 +1,196 @@
+//! Node storage: the hash-consed unique table with reference counting.
+//!
+//! Layout follows the classic BDD-package design (Brace–Rudell–Bryant,
+//! and the JDD library the paper's participants used): nodes live in a
+//! flat arena indexed by [`Ref`], terminals occupy slots 0 and 1, and a
+//! unique table guarantees that structurally equal nodes are shared.
+
+use std::collections::HashMap;
+
+/// A handle to a BDD node. `Ref`s are only meaningful relative to the
+/// [`crate::BddManager`] that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(pub(crate) u32);
+
+impl Ref {
+    /// The raw arena index of this reference.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is one of the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// The constant-false BDD.
+pub const FALSE: Ref = Ref(0);
+/// The constant-true BDD.
+pub const TRUE: Ref = Ref(1);
+
+/// Sentinel variable index used by the terminal nodes so that they sort
+/// below every real variable during `apply`.
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub low: u32,
+    pub high: u32,
+    /// External reference count. Nodes with `refs > 0` (and everything
+    /// they reach) survive garbage collection.
+    pub refs: u32,
+    pub alive: bool,
+}
+
+/// The node arena plus the unique (hash-consing) table.
+#[derive(Debug)]
+pub(crate) struct NodeTable {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    free: Vec<u32>,
+}
+
+impl NodeTable {
+    pub fn new() -> Self {
+        let terminal = |_v: u32| Node {
+            var: TERMINAL_VAR,
+            low: 0,
+            high: 0,
+            refs: 1, // terminals are permanently alive
+            alive: true,
+        };
+        NodeTable {
+            nodes: vec![terminal(0), terminal(1)],
+            unique: HashMap::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Find-or-create the node `(var, low, high)`. Callers must have
+    /// already applied the ROBDD reduction rule (`low != high`).
+    pub fn mk(&mut self, var: u32, low: u32, high: u32) -> u32 {
+        debug_assert_ne!(low, high, "reduction rule violated");
+        if let Some(&idx) = self.unique.get(&(var, low, high)) {
+            return idx;
+        }
+        let node = Node { var, low, high, refs: 0, alive: true };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(node);
+            idx
+        };
+        self.unique.insert((var, low, high), idx);
+        idx
+    }
+
+    pub fn get(&self, idx: u32) -> &Node {
+        &self.nodes[idx as usize]
+    }
+
+    pub fn get_mut(&mut self, idx: u32) -> &mut Node {
+        &mut self.nodes[idx as usize]
+    }
+
+    /// Number of live (reachable-or-not) non-terminal nodes.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().skip(2).filter(|n| n.alive).count()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Mark-and-sweep garbage collection. Roots are all nodes with a
+    /// positive external reference count. Returns the number of reclaimed
+    /// nodes. The caller is responsible for clearing any memo caches that
+    /// might reference reclaimed nodes.
+    pub fn gc(&mut self) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<u32> = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+            if n.alive && n.refs > 0 {
+                stack.push(i as u32);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            if marked[i as usize] {
+                continue;
+            }
+            marked[i as usize] = true;
+            let n = &self.nodes[i as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        let mut reclaimed = 0;
+        for i in 2..self.nodes.len() {
+            if self.nodes[i].alive && !marked[i] {
+                let n = self.nodes[i];
+                self.unique.remove(&(n.var, n.low, n.high));
+                self.nodes[i].alive = false;
+                self.free.push(i as u32);
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_preallocated() {
+        let t = NodeTable::new();
+        assert!(t.get(0).alive);
+        assert!(t.get(1).alive);
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn mk_is_hash_consed() {
+        let mut t = NodeTable::new();
+        let a = t.mk(0, 0, 1);
+        let b = t.mk(0, 0, 1);
+        assert_eq!(a, b);
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn gc_reclaims_unreferenced_nodes() {
+        let mut t = NodeTable::new();
+        let a = t.mk(0, 0, 1);
+        let _b = t.mk(1, 0, 1);
+        t.get_mut(a).refs = 1;
+        let reclaimed = t.gc();
+        assert_eq!(reclaimed, 1);
+        assert!(t.get(a).alive);
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn gc_keeps_descendants_of_roots() {
+        let mut t = NodeTable::new();
+        let child = t.mk(1, 0, 1);
+        let parent = t.mk(0, 0, child);
+        t.get_mut(parent).refs = 1;
+        assert_eq!(t.gc(), 0);
+        assert!(t.get(child).alive);
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut t = NodeTable::new();
+        let a = t.mk(0, 0, 1);
+        t.gc();
+        let b = t.mk(5, 0, 1);
+        assert_eq!(a, b, "freed slot should be recycled");
+    }
+}

@@ -1,0 +1,245 @@
+//! Quantification and cofactors: `∃`, `∀`, `restrict` and variable
+//! support.
+//!
+//! Multi-field verification needs these: projecting a transfer
+//! relation onto the destination field is an existential
+//! quantification over every other field's variables.
+
+use crate::manager::BddManager;
+use crate::node::Ref;
+use std::collections::HashMap;
+
+impl BddManager {
+    /// Existential quantification: `∃ vars . f`.
+    pub fn exists(&mut self, f: Ref, vars: &[u32]) -> Ref {
+        let mask = self.var_mask(vars);
+        let mut memo = HashMap::new();
+        Ref(self.quant_rec(f.0, &mask, true, &mut memo))
+    }
+
+    /// Universal quantification: `∀ vars . f`.
+    pub fn forall(&mut self, f: Ref, vars: &[u32]) -> Ref {
+        let mask = self.var_mask(vars);
+        let mut memo = HashMap::new();
+        Ref(self.quant_rec(f.0, &mask, false, &mut memo))
+    }
+
+    fn var_mask(&self, vars: &[u32]) -> Vec<bool> {
+        let mut mask = vec![false; self.num_vars() as usize];
+        for &v in vars {
+            assert!(v < self.num_vars(), "variable {v} out of range");
+            mask[v as usize] = true;
+        }
+        mask
+    }
+
+    fn quant_rec(
+        &mut self,
+        f: u32,
+        mask: &[bool],
+        existential: bool,
+        memo: &mut HashMap<u32, u32>,
+    ) -> u32 {
+        if f <= 1 {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (var, low, high) = self.node_parts(f);
+        let l = self.quant_rec(low, mask, existential, memo);
+        let h = self.quant_rec(high, mask, existential, memo);
+        let r = if mask[var as usize] {
+            // Protect the halves across the combining op (it may GC).
+            let lr = Ref(l);
+            let hr = Ref(h);
+            self.ref_inc(lr);
+            self.ref_inc(hr);
+            let combined = if existential { self.or(lr, hr) } else { self.and(lr, hr) };
+            self.ref_dec(lr);
+            self.ref_dec(hr);
+            combined.0
+        } else if l == h {
+            l
+        } else {
+            self.table_mk(var, l, h)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Cofactor: `f` with each `(var, value)` substituted.
+    pub fn restrict(&mut self, f: Ref, assignment: &[(u32, bool)]) -> Ref {
+        let mut values: Vec<Option<bool>> = vec![None; self.num_vars() as usize];
+        for &(v, b) in assignment {
+            assert!(v < self.num_vars(), "variable {v} out of range");
+            values[v as usize] = Some(b);
+        }
+        let mut memo = HashMap::new();
+        Ref(self.restrict_rec(f.0, &values, &mut memo))
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: u32,
+        values: &[Option<bool>],
+        memo: &mut HashMap<u32, u32>,
+    ) -> u32 {
+        if f <= 1 {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (var, low, high) = self.node_parts(f);
+        let r = match values[var as usize] {
+            Some(false) => self.restrict_rec(low, values, memo),
+            Some(true) => self.restrict_rec(high, values, memo),
+            None => {
+                let l = self.restrict_rec(low, values, memo);
+                let h = self.restrict_rec(high, values, memo);
+                if l == h {
+                    l
+                } else {
+                    self.table_mk(var, l, h)
+                }
+            }
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// The set of variables `f` actually depends on, ascending.
+    pub fn support(&self, f: Ref) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n <= 1 || !seen.insert(n) {
+                continue;
+            }
+            let (var, low, high) = self.node_parts(n);
+            vars.insert(var);
+            stack.push(low);
+            stack.push(high);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of distinct nodes reachable from `f` (BDD size).
+    pub fn size_of(&self, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n <= 1 || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let (_, low, high) = self.node_parts(n);
+            stack.push(low);
+            stack.push(high);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::EngineProfile;
+    use crate::node::{FALSE, TRUE};
+
+    fn mgr(n: u32) -> BddManager {
+        BddManager::new(n, EngineProfile::Cached)
+    }
+
+    #[test]
+    fn exists_removes_the_variable() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let e = m.exists(f, &[0]);
+        assert_eq!(e, b, "∃a. a∧b == b");
+        assert_eq!(m.support(e), vec![1]);
+    }
+
+    #[test]
+    fn forall_of_conjunction_is_false_on_free_var() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.forall(f, &[0]), FALSE, "∀a. a∧b == false");
+        let g = m.or(a, b);
+        assert_eq!(m.forall(g, &[0]), b, "∀a. a∨b == b");
+    }
+
+    #[test]
+    fn exists_forall_duality() {
+        let mut m = mgr(5);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.xor(a, c);
+        // ∃x.f == ¬∀x.¬f
+        let lhs = m.exists(f, &[0, 2]);
+        let nf = m.not(f);
+        let fa = m.forall(nf, &[0, 2]);
+        let rhs = m.not(fa);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn quantifying_all_support_yields_terminal() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        let b = m.var(3);
+        let f = m.and(a, b);
+        assert_eq!(m.exists(f, &[0, 1, 2, 3]), TRUE);
+        assert_eq!(m.forall(f, &[0, 1, 2, 3]), FALSE);
+    }
+
+    #[test]
+    fn restrict_is_shannon_cofactor() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.ite(a, b, FALSE); // a ? b : 0 == a&b
+        assert_eq!(m.restrict(f, &[(0, true)]), b);
+        assert_eq!(m.restrict(f, &[(0, false)]), FALSE);
+        assert_eq!(m.restrict(f, &[(0, true), (1, true)]), TRUE);
+    }
+
+    #[test]
+    fn restrict_on_absent_variable_is_identity() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        assert_eq!(m.restrict(a, &[(3, true)]), a);
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut m = mgr(6);
+        let f = m.field_eq(1, 3, 0b101);
+        assert_eq!(m.support(f), vec![1, 2, 3]);
+        assert_eq!(m.size_of(f), 3, "a cube has one node per literal");
+        assert_eq!(m.size_of(TRUE), 0);
+    }
+
+    #[test]
+    fn exists_distributes_over_or() {
+        let mut m = mgr(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let f = m.and(a, b);
+        let g = m.and(a, c);
+        let fg = m.or(f, g);
+        let lhs = m.exists(fg, &[0]);
+        let ef = m.exists(f, &[0]);
+        let eg = m.exists(g, &[0]);
+        let rhs = m.or(ef, eg);
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion bench behind Table D's predicate-computation column and
+//! the BDD-cache ablation called out in `DESIGN.md`: the same
+//! atomic-predicate compilation under the Cached (JDD-like) and
+//! Uncached (JavaBDD-like) engine profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrepro_bdd::{BddManager, EngineProfile};
+use netrepro_core::validate::dpv_dataset;
+use netrepro_dpv::ap::ApVerifier;
+
+fn bench_predicate_computation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ap_build");
+    g.sample_size(10);
+    for nodes in [9usize, 14, 18] {
+        let ds = dpv_dataset("bench", nodes, 14, 2023 + nodes as u64);
+        for (label, profile) in
+            [("cached", EngineProfile::Cached), ("uncached", EngineProfile::Uncached)]
+        {
+            g.bench_with_input(BenchmarkId::new(label, nodes), &ds, |b, ds| {
+                b.iter(|| ApVerifier::build(&ds.network, profile).num_atoms())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_raw_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd_ops");
+    for (label, profile) in
+        [("cached", EngineProfile::Cached), ("uncached", EngineProfile::Uncached)]
+    {
+        g.bench_function(BenchmarkId::new("diff_chain", label), |b| {
+            b.iter(|| {
+                let mut m = BddManager::new(24, profile);
+                let mut acc = netrepro_bdd::TRUE;
+                for i in 0..200u64 {
+                    let p = m.field_prefix(0, 24, (i * 37) % (1 << 12) << 12, 12);
+                    acc = m.diff(acc, p);
+                }
+                m.sat_count(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predicate_computation, bench_raw_ops);
+criterion_main!(benches);

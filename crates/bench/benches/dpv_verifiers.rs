@@ -1,0 +1,53 @@
+//! Criterion bench behind Tables C and D's verification columns:
+//! selective BFS vs path enumeration, and APKeep's incremental update
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrepro_bdd::EngineProfile;
+use netrepro_core::validate::dpv_dataset;
+use netrepro_dpv::ap::ApVerifier;
+use netrepro_dpv::apkeep::ApKeep;
+use netrepro_dpv::reach::{find_loops, path_enumeration, selective_bfs};
+use netrepro_graph::NodeId;
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reachability");
+    g.sample_size(10);
+    // Small enough that full enumeration terminates per iteration.
+    let ds = dpv_dataset("bench", 11, 12, 2023);
+    let verifier = ApVerifier::build(&ds.network, EngineProfile::Cached);
+    g.bench_function("selective_bfs", |b| {
+        b.iter(|| selective_bfs(&verifier, NodeId(0), NodeId(7)).delivered.len())
+    });
+    g.bench_function("path_enumeration", |b| {
+        let mut v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        b.iter(|| path_enumeration(&mut v, NodeId(0), NodeId(7), 10_000_000).paths_explored)
+    });
+    g.bench_function("loop_scan", |b| {
+        b.iter(|| find_loops(&verifier, 8).len())
+    });
+    g.finish();
+}
+
+fn bench_apkeep_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apkeep");
+    g.sample_size(10);
+    for nodes in [9usize, 16] {
+        let ds = dpv_dataset("bench", nodes, 14, 2123 + nodes as u64);
+        g.bench_with_input(BenchmarkId::new("insert_stream", nodes), &ds, |b, ds| {
+            b.iter(|| {
+                let mut k = ApKeep::new(&ds.network, EngineProfile::Cached);
+                for v in ds.network.graph.nodes() {
+                    for r in &ds.network.device(v).rules {
+                        k.insert(v, *r);
+                    }
+                }
+                k.changes_applied
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_apkeep_updates);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Table A's latency column and two ablations
+//! from `DESIGN.md`: revised vs dense simplex, and the dense solver
+//! with/without the PuLP-style LP-file round-trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrepro_core::validate::te_instance;
+use netrepro_graph::gen::TopologySpec;
+use netrepro_lp::dense::DenseSimplex;
+use netrepro_lp::revised::RevisedSimplex;
+use netrepro_lp::LpSolver;
+use netrepro_te::mcf::solve_mcf;
+
+fn bench_mcf_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcf_lp");
+    g.sample_size(10);
+    for commodities in [20usize, 60] {
+        let inst = te_instance(&TopologySpec::new("bench", 30, 2023), commodities, 4);
+        let solvers: Vec<(&str, Box<dyn LpSolver>)> = vec![
+            ("revised", Box::new(RevisedSimplex::default())),
+            ("dense+lpfile", Box::new(DenseSimplex::default())),
+            (
+                "dense-pure",
+                Box::new(DenseSimplex { file_interchange: false, ..Default::default() }),
+            ),
+            (
+                "revised-nopresolve",
+                Box::new(RevisedSimplex { presolve: false, ..Default::default() }),
+            ),
+        ];
+        for (label, solver) in solvers {
+            g.bench_with_input(BenchmarkId::new(label, commodities), &inst, |b, inst| {
+                b.iter(|| solve_mcf(inst, solver.as_ref()).unwrap().total_flow)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mcf_solvers);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench behind Figures 3–5: the simulated reproduction
+//! sessions, plus the prompting-strategy ablation from `DESIGN.md`
+//! (monolithic-start vs straight-modular vs pseudocode-first).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrepro_core::paper::TargetSystem;
+use netrepro_core::prompt::PromptStyle;
+use netrepro_core::student::Participant;
+use netrepro_core::survey::{build_corpus, SurveyStats};
+use netrepro_core::ReproductionSession;
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sessions");
+    for sys in TargetSystem::EXPERIMENT {
+        g.bench_with_input(
+            BenchmarkId::new("participant", sys.participant()),
+            &sys,
+            |b, &sys| {
+                b.iter(|| {
+                    ReproductionSession::new(Participant::preset(sys), 2023)
+                        .run()
+                        .total_prompts()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_strategy_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategy_ablation");
+    let variants: Vec<(&str, Box<dyn Fn() -> Participant>)> = vec![
+        ("preset_pseudocode_first", Box::new(|| Participant::preset(TargetSystem::NcFlow))),
+        (
+            "modular_text_only",
+            Box::new(|| {
+                let mut p = Participant::preset(TargetSystem::NcFlow);
+                p.strategy.style = PromptStyle::ModularText;
+                p.strategy.pseudocode_first = false;
+                p
+            }),
+        ),
+        (
+            "no_monolithic_detour",
+            Box::new(|| {
+                let mut p = Participant::preset(TargetSystem::NcFlow);
+                p.strategy.start_monolithic = false;
+                p
+            }),
+        ),
+    ];
+    for (label, mk) in variants {
+        g.bench_function(label, |b| {
+            b.iter(|| ReproductionSession::new(mk(), 2023).run().total_words())
+        });
+    }
+    g.finish();
+}
+
+fn bench_survey(c: &mut Criterion) {
+    c.bench_function("survey_corpus_and_stats", |b| {
+        b.iter(|| {
+            let corpus = build_corpus(2023);
+            SurveyStats::compute(&corpus).both_rate
+        })
+    });
+}
+
+criterion_group!(benches, bench_sessions, bench_strategy_ablation, bench_survey);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench behind Tables A and B: the NCFlow contraction
+//! benefit (flat LP vs NCFlow at several cluster counts — the ablation
+//! `DESIGN.md` calls out) and the two ARROW formulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrepro_core::validate::te_instance;
+use netrepro_graph::gen::TopologySpec;
+use netrepro_lp::revised::RevisedSimplex;
+use netrepro_te::arrow::{multi_fiber_scenarios, solve_arrow, ArrowInstance, ArrowVariant};
+use netrepro_te::mcf::solve_mcf;
+use netrepro_te::ncflow::{solve_ncflow, NcFlowConfig};
+
+fn bench_ncflow_contraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ncflow");
+    g.sample_size(10);
+    let inst = te_instance(&TopologySpec::new("bench", 60, 2023), 60, 4);
+    g.bench_function("flat_lp", |b| {
+        b.iter(|| solve_mcf(&inst, &RevisedSimplex::default()).unwrap().total_flow)
+    });
+    for k in [2usize, 4, 8, 16] {
+        let cfg = NcFlowConfig { num_clusters: k, paths_per_commodity: 4, parallel_r2: false };
+        g.bench_with_input(BenchmarkId::new("clusters", k), &cfg, |b, cfg| {
+            b.iter(|| solve_ncflow(&inst, cfg, &RevisedSimplex::default()).unwrap().total_flow)
+        });
+    }
+    let par = NcFlowConfig { num_clusters: 8, paths_per_commodity: 4, parallel_r2: true };
+    g.bench_function("clusters8_parallel", |b| {
+        b.iter(|| solve_ncflow(&inst, &par, &RevisedSimplex::default()).unwrap().total_flow)
+    });
+    g.finish();
+}
+
+fn bench_arrow_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arrow");
+    g.sample_size(10);
+    let mut te = te_instance(&TopologySpec::new("bench", 16, 2123), 10, 3);
+    te.tm.scale(4.0);
+    let scenarios = multi_fiber_scenarios(&te, 3, 3);
+    let inst = ArrowInstance { te, scenarios, restoration_fraction: 0.5 };
+    for (label, v) in [("faithful", ArrowVariant::Faithful), ("open_source", ArrowVariant::OpenSource)] {
+        g.bench_function(label, |b| {
+            b.iter(|| solve_arrow(&inst, v, &RevisedSimplex::default()).unwrap().committed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ncflow_contraction, bench_arrow_variants);
+criterion_main!(benches);

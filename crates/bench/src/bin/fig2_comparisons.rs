@@ -1,0 +1,45 @@
+//! Figure 2 — how many systems each paper compares against and how many
+//! the authors had to manually re-implement.
+//!
+//! Paper's numbers: 59.68% of papers compare with ≥ 2 systems; authors
+//! manually reproduce 2.29 systems on average (conditional on ≥ 1);
+//! 49.20% / 26.65% manually reproduce at least one / two.
+
+use netrepro_bench::{emit, SEED};
+use netrepro_core::metrics::{Row, Table};
+use netrepro_core::survey::{build_corpus, SurveyStats};
+
+fn main() {
+    let corpus = build_corpus(SEED);
+    let stats = SurveyStats::compute(&corpus);
+
+    // Histogram of compared / manually-reproduced counts.
+    let mut t = Table::new(
+        "Figure 2",
+        "distribution of compared and manually-reproduced systems per paper (%)",
+    );
+    for k in 0..=6u32 {
+        let pc = corpus.iter().filter(|p| p.compared == k).count() as f64;
+        let pm = corpus.iter().filter(|p| p.manually_reproduced == k).count() as f64;
+        let n = corpus.len() as f64;
+        t.push(Row::new(
+            format!("{k} systems"),
+            vec![("compared_%", 100.0 * pc / n), ("manual_%", 100.0 * pm / n)],
+        ));
+    }
+    let tail_c = corpus.iter().filter(|p| p.compared > 6).count() as f64;
+    let tail_m = corpus.iter().filter(|p| p.manually_reproduced > 6).count() as f64;
+    let n = corpus.len() as f64;
+    t.push(Row::new(
+        ">6 systems",
+        vec![("compared_%", 100.0 * tail_c / n), ("manual_%", 100.0 * tail_m / n)],
+    ));
+    emit(&t);
+
+    let mut agg = Table::new("Figure 2 aggregates", "headline statistics vs the paper");
+    agg.push(Row::new("compare >=2 (%)", vec![("measured", 100.0 * stats.pct_ge2_compared), ("paper", 59.68)]));
+    agg.push(Row::new("manual mean (cond. >=1)", vec![("measured", stats.mean_manual_conditional), ("paper", 2.29)]));
+    agg.push(Row::new("manual >=1 (%)", vec![("measured", 100.0 * stats.pct_ge1_manual), ("paper", 49.20)]));
+    agg.push(Row::new("manual >=2 (%)", vec![("measured", 100.0 * stats.pct_ge2_manual), ("paper", 26.65)]));
+    emit(&agg);
+}

@@ -1,0 +1,68 @@
+//! Figure 3 — the rock-paper-scissors motivating example.
+//!
+//! Two parts: (1) the simulated session that "generates" the program
+//! (paper: 4 prompts, 159 words, 93 LoC), and (2) the *real* Rust
+//! client/server exchanged over loopback to show the generated protocol
+//! actually plays.
+
+use netrepro_bench::emit;
+use netrepro_core::metrics::{Row, Table};
+use netrepro_core::paper::TargetSystem;
+use netrepro_core::student::Participant;
+use netrepro_core::ReproductionSession;
+use netrepro_rps::{Move, RpsClient, RpsServer};
+use std::time::Instant;
+
+fn main() {
+    // Part 1: the session metrics.
+    let report =
+        ReproductionSession::new(Participant::preset(TargetSystem::RockPaperScissors), 2023).run();
+    let mut t = Table::new("Figure 3", "RPS generation session vs the paper's numbers");
+    t.push(Row::new(
+        "prompts",
+        vec![("measured", report.total_prompts() as f64), ("paper", 4.0)],
+    ));
+    t.push(Row::new(
+        "words",
+        vec![("measured", report.total_words() as f64), ("paper", 159.0)],
+    ));
+    t.push(Row::new(
+        "loc",
+        vec![("measured", report.artifact.loc as f64), ("paper", 93.0)],
+    ));
+    emit(&t);
+
+    // Part 2: play the real protocol over loopback.
+    let server = RpsServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = std::thread::spawn(move || {
+        let handles = server.serve_connections(1).expect("accept");
+        for h in handles {
+            h.join().expect("join").expect("serve");
+        }
+    });
+
+    let mut client = RpsClient::connect(addr).expect("connect");
+    let moves = [Move::Paper, Move::Scissors, Move::Rock, Move::Rock, Move::Paper, Move::Scissors];
+    let start = Instant::now();
+    let mut wins = 0;
+    let mut draws = 0;
+    for &m in &moves {
+        let r = client.play(m).expect("play");
+        match r.outcome {
+            netrepro_rps::Outcome::Win => wins += 1,
+            netrepro_rps::Outcome::Draw => draws += 1,
+            netrepro_rps::Outcome::Lose => {}
+        }
+    }
+    let played = client.disconnect().expect("disconnect");
+    let elapsed = start.elapsed();
+    server_thread.join().expect("server thread");
+
+    println!(
+        "loopback session: {played} rounds ({wins} wins, {draws} draws) in {:?} \
+         ({:.0} µs/round incl. round-trip)",
+        elapsed,
+        elapsed.as_micros() as f64 / played as f64
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 5 — lines of code of the open-source vs reproduced
+//! prototypes.
+//!
+//! Paper's shape: reproduced NCFlow is 17% of the open-source LoC,
+//! ARROW 19%, while AP and APKeep come out roughly the same size as
+//! their originals.
+
+use netrepro_bench::{emit, SEED};
+use netrepro_core::metrics::{Row, Table};
+use netrepro_core::paper::TargetSystem;
+use netrepro_core::student::Participant;
+use netrepro_core::ReproductionSession;
+
+fn main() {
+    let mut t = Table::new("Figure 5", "LoC of open-source vs reproduced prototypes");
+    let paper_ratio = [0.17, 0.19, 1.0, 1.0];
+    for (i, sys) in TargetSystem::EXPERIMENT.into_iter().enumerate() {
+        let r = ReproductionSession::new(Participant::preset(sys), SEED).run();
+        t.push(Row::new(
+            sys.name(),
+            vec![
+                ("open_source_loc", r.artifact.open_source_loc as f64),
+                ("reproduced_loc", r.artifact.loc as f64),
+                ("ratio", r.artifact.loc_ratio()),
+                ("paper_ratio", paper_ratio[i]),
+            ],
+        ));
+    }
+    emit(&t);
+}

@@ -1,0 +1,58 @@
+//! Internal scale probe (not an experiment binary): sizes Table D's
+//! datasets so the quick scale shows the paper's gaps in bounded time.
+
+use netrepro_bdd::EngineProfile;
+use netrepro_dpv::ap::ApVerifier;
+use netrepro_dpv::dataset::{generate, DatasetOpts};
+use netrepro_dpv::header::HeaderLayout;
+use netrepro_dpv::reach::{path_enumeration, selective_bfs};
+use netrepro_graph::gen::{sample_pairs, waxman, TopologySpec};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let prefixes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let cap: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500_000);
+
+    let graph = waxman(&TopologySpec::new("probe", nodes, 2023));
+    let ds = generate(
+        graph,
+        HeaderLayout::new(18),
+        &DatasetOpts { prefixes_per_device: prefixes, fault_rate: 0.9, seed: 5 },
+    );
+    println!("nodes={nodes} prefixes/dev={prefixes} rules={}", ds.network.num_rules());
+
+    let t = Instant::now();
+    let open = ApVerifier::build(&ds.network, EngineProfile::Cached);
+    let cached = t.elapsed();
+    let t = Instant::now();
+    let mut repro = ApVerifier::build(&ds.network, EngineProfile::Uncached);
+    let uncached = t.elapsed();
+    println!(
+        "atoms={} pred cached={cached:?} uncached={uncached:?} ratio={:.1}",
+        open.num_atoms(),
+        uncached.as_secs_f64() / cached.as_secs_f64()
+    );
+
+    let queries = sample_pairs(&ds.network.graph, 4, 77);
+    let t = Instant::now();
+    for &(s, d) in &queries {
+        let _ = selective_bfs(&open, s, d);
+    }
+    let bfs = t.elapsed();
+    let t = Instant::now();
+    let mut truncated = 0;
+    for &(s, d) in &queries {
+        let r = path_enumeration(&mut repro, s, d, cap);
+        if r.truncated {
+            truncated += 1;
+        }
+    }
+    let en = t.elapsed();
+    println!(
+        "verify bfs={bfs:?} enum={en:?} ratio={:.0} truncated={truncated}/{}",
+        en.as_secs_f64() / bfs.as_secs_f64(),
+        queries.len()
+    );
+}

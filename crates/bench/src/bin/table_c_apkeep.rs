@@ -1,0 +1,35 @@
+//! Table C — participant C's APKeep findings on four topologies.
+//!
+//! Paper: the reproduced APKeep computes the same number of atomic
+//! predicates as the (non-author) open-source prototype with
+//! approximately the same latency; both use JDD. Here both sides run
+//! the same incremental pipeline on the cached engine, replaying the
+//! same update stream.
+
+use netrepro_bench::{emit, table_c_datasets, Scale, SEED};
+use netrepro_core::metrics::{Row, Table};
+use netrepro_core::validate::{dpv_dataset, validate_apkeep};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut t = Table::new(
+        "Table C",
+        "APKeep: open-source vs reproduced (atomic predicates and update latency)",
+    );
+    for (name, nodes, width) in table_c_datasets(scale) {
+        let ds = dpv_dataset(name, nodes, width, SEED + nodes as u64);
+        let v = validate_apkeep(&ds, name);
+        t.push(Row::new(
+            format!("{name} (n={nodes})"),
+            vec![
+                ("atoms_open", v.atoms_open as f64),
+                ("atoms_repro", v.atoms_repro as f64),
+                ("lat_open_ms", v.pred_time_open.as_secs_f64() * 1e3),
+                ("lat_repro_ms", v.pred_time_repro.as_secs_f64() * 1e3),
+                ("equal", if v.results_equal { 1.0 } else { 0.0 }),
+            ],
+        ));
+    }
+    emit(&t);
+    println!("paper: same #atomic-predicates, approximately the same latency — equal=1 rows");
+}

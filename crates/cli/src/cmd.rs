@@ -1,0 +1,381 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use netrepro_bdd::EngineProfile;
+use netrepro_core::diagnosis::{diagnose_dpv, diagnose_te};
+use netrepro_core::framework::AutoEngineer;
+use netrepro_core::paper::TargetSystem;
+use netrepro_core::student::Participant;
+use netrepro_core::survey::{build_corpus, SurveyStats};
+use netrepro_core::validate as val;
+use netrepro_core::ReproductionSession;
+use netrepro_dpv::ap::ApVerifier;
+use netrepro_dpv::dataset::{generate, DatasetOpts};
+use netrepro_dpv::header::HeaderLayout;
+use netrepro_dpv::reach::{blackholes, find_loops, selective_bfs};
+use netrepro_graph::gen::{waxman, TopologySpec};
+use netrepro_graph::{traffic, NodeId};
+use netrepro_lp::dense::DenseSimplex;
+use netrepro_lp::revised::RevisedSimplex;
+use netrepro_lp::LpSolver;
+use netrepro_te::arrow::{multi_fiber_scenarios, ArrowInstance};
+use netrepro_te::mcf::{solve_mcf_with_objective, McfObjective, TeInstance};
+use netrepro_te::ncflow::{solve_ncflow, NcFlowConfig};
+
+/// Top-level usage text.
+pub const USAGE: &str = "netrepro — reproduce 'Toward Reproducing Network Research Results
+Using Large Language Models' (HotNets 2023)
+
+commands:
+  report    [--dir results]                         summarise captured experiment JSON
+  survey    [--seed N]                              Figure 1/2 statistics
+  te        [--nodes N] [--seed N] [--commodities K] [--paths P]
+            [--solver revised|dense] [--ncflow K] [--objective total|concurrent]
+  dpv       [--nodes N] [--width W] [--faults F] [--seed N]
+            [--check loops|blackholes|reach] [--src A --dst B]
+  session   [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--auto]
+  validate  [--participant a|b|c|d] [--seed N]
+  rps       serve [--addr H:P] | play [--addr H:P] [--moves RPSR...]
+";
+
+type CmdResult = Result<(), ArgError>;
+
+/// `netrepro report` — summarise the JSON tables the bench binaries
+/// wrote under `results/`.
+pub fn report(a: &Args) -> CmdResult {
+    let dir = a.get("dir").unwrap_or("results");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| ArgError(format!("cannot read {dir}: {e} (run the bench bins first)")))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(ArgError(format!("no JSON tables in {dir}; run the bench bins first")));
+    }
+    println!("{} captured experiment table(s) in {dir}:\n", entries.len());
+    for path in entries {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| ArgError(format!("{}: {e}", path.display())))?;
+        let table: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| ArgError(format!("{}: bad JSON: {e}", path.display())))?;
+        let id = table["id"].as_str().unwrap_or("?");
+        let caption = table["caption"].as_str().unwrap_or("");
+        let rows = table["rows"].as_array().map(|r| r.len()).unwrap_or(0);
+        println!("  {id:<22} {rows:>3} rows  — {caption}");
+    }
+    println!("\n(render any table with its generating bin, e.g. `cargo run -p netrepro-bench --bin table_a_ncflow`)");
+    Ok(())
+}
+
+/// `netrepro survey`
+pub fn survey(a: &Args) -> CmdResult {
+    let seed: u64 = a.get_or("seed", 2023)?;
+    let corpus = build_corpus(seed);
+    let s = SurveyStats::compute(&corpus);
+    println!("corpus: {} papers (SIGCOMM+NSDI 2013-2022, seed {seed})", corpus.len());
+    println!(
+        "open-source rates: SIGCOMM {:.1}%  NSDI {:.1}%  both {:.1}%",
+        100.0 * s.sigcomm_rate,
+        100.0 * s.nsdi_rate,
+        100.0 * s.both_rate
+    );
+    println!(
+        "comparisons: >=2 compared {:.1}%; manual >=1 {:.1}%; manual >=2 {:.1}%; \
+         conditional mean {:.2}",
+        100.0 * s.pct_ge2_compared,
+        100.0 * s.pct_ge1_manual,
+        100.0 * s.pct_ge2_manual,
+        s.mean_manual_conditional
+    );
+    Ok(())
+}
+
+fn solver_from(a: &Args) -> Result<Box<dyn LpSolver + Sync>, ArgError> {
+    match a.get("solver").unwrap_or("revised") {
+        "revised" => Ok(Box::new(RevisedSimplex::default())),
+        "dense" => Ok(Box::new(DenseSimplex::default())),
+        other => Err(ArgError(format!("--solver must be revised|dense, got '{other}'"))),
+    }
+}
+
+/// `netrepro te`
+pub fn te(a: &Args) -> CmdResult {
+    let nodes: usize = a.get_or("nodes", 24)?;
+    let seed: u64 = a.get_or("seed", 2023)?;
+    let commodities: usize = a.get_or("commodities", 20)?;
+    let paths: usize = a.get_or("paths", 4)?;
+    let solver = solver_from(a)?;
+
+    let graph = waxman(&TopologySpec::new("cli", nodes, seed));
+    let tm = traffic::gravity(&graph, nodes as f64 * 30.0, seed + 1);
+    let inst = TeInstance {
+        name: format!("cli-{nodes}"),
+        graph,
+        tm,
+        paths_per_commodity: paths,
+        max_commodities: commodities,
+    };
+    println!(
+        "instance: {} nodes, {} edges, {} commodities, {} demand",
+        inst.graph.num_nodes(),
+        inst.graph.num_edges(),
+        inst.commodities().len(),
+        format_flow(inst.total_demand())
+    );
+
+    if a.has("ncflow") {
+        let k: usize = a.get_or("ncflow", 4)?;
+        let cfg = NcFlowConfig { num_clusters: k, paths_per_commodity: paths, parallel_r2: true };
+        let s = solve_ncflow(&inst, &cfg, solver.as_ref())
+            .map_err(|e| ArgError(format!("ncflow: {e}")))?;
+        println!(
+            "NCFlow (k={}): flow {} in {:?} (R1 {:?}, R2 {:?}; {} pivots)",
+            s.num_clusters,
+            format_flow(s.total_flow),
+            s.solve_time,
+            s.r1_time,
+            s.r2_time,
+            s.lp_iterations
+        );
+        return Ok(());
+    }
+
+    let objective = match a.get("objective").unwrap_or("total") {
+        "total" => McfObjective::TotalFlow,
+        "concurrent" => McfObjective::MaxConcurrent,
+        other => return Err(ArgError(format!("--objective must be total|concurrent, got '{other}'"))),
+    };
+    let s = solve_mcf_with_objective(&inst, objective, solver.as_ref())
+        .map_err(|e| ArgError(format!("mcf: {e}")))?;
+    match s.concurrency {
+        Some(t) => println!(
+            "max-concurrent flow: t = {t:.3}, total {} in {:?} ({} pivots)",
+            format_flow(s.total_flow),
+            s.solve_time,
+            s.lp_iterations
+        ),
+        None => println!(
+            "max total flow: {} in {:?} ({} pivots)",
+            format_flow(s.total_flow),
+            s.solve_time,
+            s.lp_iterations
+        ),
+    }
+    Ok(())
+}
+
+fn format_flow(f: f64) -> String {
+    format!("{f:.2} Gbps")
+}
+
+/// `netrepro dpv`
+pub fn dpv(a: &Args) -> CmdResult {
+    let nodes: usize = a.get_or("nodes", 16)?;
+    let width: u32 = a.get_or("width", 14)?;
+    let faults: f64 = a.get_or("faults", 0.0)?;
+    let seed: u64 = a.get_or("seed", 2023)?;
+    let graph = waxman(&TopologySpec::new("cli", nodes, seed));
+    let ds = generate(
+        graph,
+        HeaderLayout::new(width),
+        &DatasetOpts { prefixes_per_device: 1, fault_rate: faults, seed },
+    );
+    let v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+    println!(
+        "dataset: {} devices, {} rules; {} atomic predicates",
+        nodes,
+        ds.network.num_rules(),
+        v.num_atoms()
+    );
+    match a.get("check").unwrap_or("loops") {
+        "loops" => {
+            let loops = find_loops(&v, 16);
+            println!("forwarding loops: {}", loops.len());
+            for l in loops {
+                println!("  via device {} carrying {} atom(s)", l.device.0, l.atoms.len());
+            }
+        }
+        "blackholes" => {
+            let src: u32 = a.get_or("src", 0)?;
+            let bh = blackholes(&v, NodeId(src));
+            println!("blackhole sites reachable from device {src}: {}", bh.len());
+            for (d, atoms) in bh {
+                println!("  device {} swallows {} atom(s)", d.0, atoms.len());
+            }
+        }
+        "reach" => {
+            let src: u32 = a.require("src")?;
+            let dst: u32 = a.require("dst")?;
+            if src as usize >= nodes || dst as usize >= nodes {
+                return Err(ArgError("--src/--dst out of range".into()));
+            }
+            let r = selective_bfs(&v, NodeId(src), NodeId(dst));
+            println!(
+                "reachability {src} -> {dst}: {} atom(s) arrive, {} delivered",
+                r.arrived.len(),
+                r.delivered.len()
+            );
+        }
+        other => return Err(ArgError(format!("--check must be loops|blackholes|reach, got '{other}'"))),
+    }
+    Ok(())
+}
+
+fn system_from(a: &Args) -> Result<TargetSystem, ArgError> {
+    match a.get("system").unwrap_or("ncflow") {
+        "ncflow" => Ok(TargetSystem::NcFlow),
+        "arrow" => Ok(TargetSystem::Arrow),
+        "apkeep" => Ok(TargetSystem::ApKeep),
+        "ap" => Ok(TargetSystem::ApVerifier),
+        "rps" => Ok(TargetSystem::RockPaperScissors),
+        other => Err(ArgError(format!(
+            "--system must be ncflow|arrow|apkeep|ap|rps, got '{other}'"
+        ))),
+    }
+}
+
+/// `netrepro session`
+pub fn session(a: &Args) -> CmdResult {
+    let system = system_from(a)?;
+    let seed: u64 = a.get_or("seed", 2023)?;
+    if a.has("auto") {
+        let attempts = AutoEngineer::default().run(system, seed);
+        for (i, at) in attempts.iter().enumerate() {
+            println!(
+                "attempt {} ({:?}): {} prompts, {} words, {} LoC, accepted={}",
+                i + 1,
+                at.style,
+                at.report.total_prompts(),
+                at.report.total_words(),
+                at.report.artifact.loc,
+                at.accepted
+            );
+        }
+        return Ok(());
+    }
+    let r = ReproductionSession::new(Participant::preset(system), seed).run();
+    println!(
+        "participant {} reproducing {}: {} prompts, {} words",
+        r.participant,
+        system.name(),
+        r.total_prompts(),
+        r.total_words()
+    );
+    println!(
+        "artifact: {} LoC across {} components ({}% of the open-source prototype)",
+        r.artifact.loc,
+        r.artifact.components,
+        (100.0 * r.artifact.loc_ratio()).round()
+    );
+    println!("residual defects: {:?}", r.residual_defects);
+    Ok(())
+}
+
+/// `netrepro validate`
+pub fn validate(a: &Args) -> CmdResult {
+    let seed: u64 = a.get_or("seed", 2023)?;
+    match a.get("participant").unwrap_or("a") {
+        "a" => {
+            let inst = val::te_instance(&TopologySpec::new("CRL", 33, seed), 100, 4);
+            let v = val::validate_ncflow(&inst).map_err(|e| ArgError(e.to_string()))?;
+            let d = diagnose_te(&v);
+            println!(
+                "NCFlow on {}: obj diff {:.3}%, latency {:?} vs {:?} ({:.1}x)",
+                v.instance,
+                v.obj_diff_pct(),
+                v.latency_open,
+                v.latency_repro,
+                v.latency_ratio()
+            );
+            println!("diagnosis: {:?} — {}", d.cause, d.evidence);
+        }
+        "b" => {
+            let mut te = val::te_instance(&TopologySpec::new("OpticalA", 16, seed + 100), 10, 3);
+            te.tm.scale(4.0);
+            let scenarios = multi_fiber_scenarios(&te, 3, 3);
+            let inst = ArrowInstance { te, scenarios, restoration_fraction: 0.5 };
+            let v = val::validate_arrow(&inst).map_err(|e| ArgError(e.to_string()))?;
+            let d = diagnose_te(&v);
+            println!(
+                "ARROW on {}: committed {} (open) vs {} (faithful), diff {:.1}%",
+                v.instance,
+                format_flow(v.obj_open),
+                format_flow(v.obj_repro),
+                v.obj_diff_pct()
+            );
+            println!("diagnosis: {:?} — {}", d.cause, d.evidence);
+        }
+        "c" => {
+            let ds = val::dpv_dataset("Internet2", 9, 12, seed);
+            let v = val::validate_apkeep(&ds, "Internet2");
+            let d = diagnose_dpv(&v);
+            println!(
+                "APKeep on {}: atoms {} vs {} (equal={})",
+                v.dataset, v.atoms_open, v.atoms_repro, v.results_equal
+            );
+            println!("diagnosis: {:?} — {}", d.cause, d.evidence);
+        }
+        "d" => {
+            let ds = val::dpv_dataset("Purdue", 18, 14, seed);
+            let queries = netrepro_graph::gen::sample_pairs(&ds.network.graph, 5, seed + 7);
+            let v = val::validate_ap(&ds, "Purdue", &queries, 100_000);
+            let d = diagnose_dpv(&v);
+            println!(
+                "AP on {}: atoms {} vs {}; pred {:.1}x; verify {:.0}x (equal={})",
+                v.dataset,
+                v.atoms_open,
+                v.atoms_repro,
+                v.pred_ratio(),
+                v.verify_ratio(),
+                v.results_equal
+            );
+            println!("diagnosis: {:?} — {}", d.cause, d.evidence);
+        }
+        other => {
+            return Err(ArgError(format!("--participant must be a|b|c|d, got '{other}'")))
+        }
+    }
+    Ok(())
+}
+
+/// `netrepro rps serve|play`
+pub fn rps(a: &Args) -> CmdResult {
+    let addr = a.get("addr").unwrap_or("127.0.0.1:4444").to_string();
+    match a.pos(1) {
+        Some("serve") => {
+            let server = netrepro_rps::RpsServer::bind(&addr[..])
+                .map_err(|e| ArgError(format!("bind {addr}: {e}")))?;
+            println!("serving rock-paper-scissors on {addr} (ctrl-c to stop)");
+            server.serve_forever().map_err(|e| ArgError(e.to_string()))
+        }
+        Some("play") => {
+            let moves = a.get("moves").unwrap_or("RPSRPS");
+            let mut client = netrepro_rps::RpsClient::connect(&addr[..])
+                .map_err(|e| ArgError(format!("connect {addr}: {e}")))?;
+            let (mut w, mut l, mut dr) = (0, 0, 0);
+            for ch in moves.chars() {
+                let m = netrepro_rps::Move::parse(&ch.to_string())
+                    .ok_or_else(|| ArgError(format!("bad move '{ch}' (use R/P/S)")))?;
+                let r = client.play(m).map_err(|e| ArgError(e.to_string()))?;
+                match r.outcome {
+                    netrepro_rps::Outcome::Win => w += 1,
+                    netrepro_rps::Outcome::Lose => l += 1,
+                    netrepro_rps::Outcome::Draw => dr += 1,
+                }
+                println!(
+                    "round {}: {} vs {} -> {:?}",
+                    r.round,
+                    r.you.letter(),
+                    r.server.letter(),
+                    r.outcome
+                );
+            }
+            let n = client.disconnect().map_err(|e| ArgError(e.to_string()))?;
+            println!("{w} wins / {l} losses / {dr} draws over {n} rounds");
+            Ok(())
+        }
+        _ => Err(ArgError("rps needs a mode: serve|play".into())),
+    }
+}

@@ -1,0 +1,45 @@
+//! `netrepro` — the command-line face of the workspace.
+//!
+//! ```text
+//! netrepro report   [--dir results]
+//! netrepro survey   [--seed N]
+//! netrepro te       [--nodes N] [--seed N] [--commodities K] [--paths P]
+//!                   [--solver revised|dense] [--ncflow K] [--objective total|concurrent]
+//! netrepro dpv      [--nodes N] [--width W] [--faults F] [--seed N]
+//!                   [--check loops|blackholes|reach] [--src A --dst B]
+//! netrepro session  [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--auto]
+//! netrepro validate [--participant a|b|c|d] [--seed N]
+//! netrepro rps      serve [--addr HOST:PORT] | play [--addr HOST:PORT] [--moves RPS...]
+//! ```
+//!
+//! Every command is seeded and prints plain text; exit status is
+//! non-zero on bad arguments or failed runs.
+
+mod args;
+mod cmd;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print!("{}", cmd::USAGE);
+        return;
+    }
+    let a = Args::parse(raw);
+    let result = match a.pos(0) {
+        Some("report") => cmd::report(&a),
+        Some("survey") => cmd::survey(&a),
+        Some("te") => cmd::te(&a),
+        Some("dpv") => cmd::dpv(&a),
+        Some("session") => cmd::session(&a),
+        Some("validate") => cmd::validate(&a),
+        Some("rps") => cmd::rps(&a),
+        Some(other) => Err(args::ArgError(format!("unknown command '{other}'\n{}", cmd::USAGE))),
+        None => Err(args::ArgError(cmd::USAGE.to_string())),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

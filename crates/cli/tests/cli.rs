@@ -1,0 +1,76 @@
+//! End-to-end CLI tests: run the real binary and check its output.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_netrepro"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("commands:"));
+    assert!(stdout.contains("survey"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn survey_reports_rates() {
+    let (stdout, _, ok) = run(&["survey", "--seed", "7"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("open-source rates"));
+    assert!(stdout.contains("SIGCOMM"));
+}
+
+#[test]
+fn te_solves_and_reports_flow() {
+    let (stdout, _, ok) = run(&["te", "--nodes", "12", "--commodities", "8"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("max total flow"));
+    assert!(stdout.contains("Gbps"));
+}
+
+#[test]
+fn te_rejects_bad_solver() {
+    let (_, stderr, ok) = run(&["te", "--solver", "cplex"]);
+    assert!(!ok);
+    assert!(stderr.contains("--solver"));
+}
+
+#[test]
+fn dpv_reach_requires_endpoints() {
+    let (_, stderr, ok) = run(&["dpv", "--check", "reach"]);
+    assert!(!ok);
+    assert!(stderr.contains("--src"));
+}
+
+#[test]
+fn session_runs_deterministically() {
+    let (a, _, ok1) = run(&["session", "--system", "apkeep", "--seed", "9"]);
+    let (b, _, ok2) = run(&["session", "--system", "apkeep", "--seed", "9"]);
+    assert!(ok1 && ok2);
+    assert_eq!(a, b, "same seed must print the same session");
+    assert!(a.contains("participant C"));
+}
+
+#[test]
+fn validate_c_is_faithful() {
+    let (stdout, _, ok) = run(&["validate", "--participant", "c"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Faithful"));
+}

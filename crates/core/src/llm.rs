@@ -1,0 +1,324 @@
+//! The simulated LLM.
+//!
+//! A seeded stochastic model of a ChatGPT-class code generator, with
+//! exactly the behavioural regularities the paper's §3.3 lessons report:
+//!
+//! * **Monolithic prompts fail**: defect rates blow up when one prompt
+//!   asks for a whole multi-component system.
+//! * **Pseudocode stabilises data types**: once the key data types are
+//!   pinned by pseudocode-based prompts, later components interoperate;
+//!   text-only prompting yields interop mismatches discovered at
+//!   integration time.
+//! * **Three debugging guidelines**: pasting a compiler/runtime error
+//!   fixes type errors; sending a failing test case fixes simple logic
+//!   bugs; step-by-step re-specification fixes complex logic bugs.
+
+use crate::paper::ComponentSpec;
+use crate::prompt::PromptStyle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The defect taxonomy of §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DefectKind {
+    /// Wrong/mismatched data types — surfaces as a compile/runtime error.
+    TypeError,
+    /// Component disagrees with its peers on shared data structures —
+    /// surfaces at integration.
+    InteropMismatch,
+    /// A simple logic bug — surfaces on a small test case.
+    SimpleLogic,
+    /// A complex logic bug — needs step-by-step re-specification.
+    ComplexLogic,
+}
+
+/// A generated implementation of one component.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CodeArtifact {
+    /// Which component (index into the paper spec).
+    pub component: usize,
+    /// Generated lines of code.
+    pub loc: u32,
+    /// Latent defects (not all are visible immediately).
+    pub defects: Vec<DefectKind>,
+}
+
+impl CodeArtifact {
+    /// Whether a defect of `kind` is present.
+    pub fn has(&self, kind: DefectKind) -> bool {
+        self.defects.contains(&kind)
+    }
+
+    /// Remove one defect of `kind` (a successful fix).
+    pub fn fix(&mut self, kind: DefectKind) {
+        if let Some(i) = self.defects.iter().position(|&d| d == kind) {
+            self.defects.remove(i);
+        }
+    }
+}
+
+/// Behavioural parameters of the simulated LLM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LlmModel {
+    /// Base probability of a type error per component.
+    pub p_type_error: f64,
+    /// Base probability of a simple logic bug.
+    pub p_simple: f64,
+    /// Base probability of a complex logic bug.
+    pub p_complex: f64,
+    /// Interop-mismatch probability per shared type, text prompts.
+    pub p_interop_text: f64,
+    /// Interop-mismatch probability per shared type once data types are
+    /// stabilised by pseudocode-first prompting.
+    pub p_interop_stable: f64,
+    /// Multiplier applied to all defect rates under monolithic prompts.
+    pub monolithic_penalty: f64,
+    /// P(fix) when the participant pastes the error message.
+    pub fix_error_message: f64,
+    /// P(fix a simple bug) when sending the failing test case.
+    pub fix_test_case: f64,
+    /// P(fix a complex bug) under step-by-step re-specification.
+    pub fix_step_by_step: f64,
+    /// Chance a regeneration introduces a fresh type error.
+    pub churn: f64,
+    /// Relative LoC noise (uniform ±).
+    pub loc_noise: f64,
+}
+
+impl Default for LlmModel {
+    fn default() -> Self {
+        LlmModel {
+            p_type_error: 0.55,
+            p_simple: 0.45,
+            p_complex: 0.35,
+            p_interop_text: 0.28,
+            p_interop_stable: 0.05,
+            monolithic_penalty: 2.2,
+            fix_error_message: 0.9,
+            fix_test_case: 0.85,
+            fix_step_by_step: 0.8,
+            churn: 0.06,
+            loc_noise: 0.15,
+        }
+    }
+}
+
+/// The simulated LLM: the model plus a seeded RNG and the session-level
+/// "are data types stabilised?" state.
+#[derive(Debug)]
+pub struct SimulatedLlm {
+    /// Behavioural parameters.
+    pub model: LlmModel,
+    rng: StdRng,
+    /// Set once a pseudocode-based prompt has pinned the key data types.
+    types_stable: bool,
+}
+
+impl SimulatedLlm {
+    /// A simulated LLM with default parameters and the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_model(LlmModel::default(), seed)
+    }
+
+    /// A simulated LLM with explicit parameters.
+    pub fn with_model(model: LlmModel, seed: u64) -> Self {
+        SimulatedLlm { model, rng: StdRng::seed_from_u64(seed), types_stable: false }
+    }
+
+    /// Whether pseudocode-first prompting has stabilised the data types.
+    pub fn types_stable(&self) -> bool {
+        self.types_stable
+    }
+
+    /// The session RNG. The participant's own coin flips (which bugs
+    /// their tests catch) draw from the same stream so one seed
+    /// reproduces an entire session.
+    pub fn session_rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn bernoulli(&mut self, p: f64) -> bool {
+        self.rng.random::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Respond to an implementation prompt for `spec` (component index
+    /// `idx`) under `style`.
+    pub fn implement(&mut self, spec: &ComponentSpec, idx: usize, style: PromptStyle) -> CodeArtifact {
+        let penalty = match style {
+            PromptStyle::Monolithic => self.model.monolithic_penalty,
+            _ => 1.0,
+        };
+        if style == PromptStyle::ModularPseudocode && spec.has_pseudocode {
+            // The pseudocode pins the component's data structures; later
+            // components generated against them interoperate.
+            self.types_stable = true;
+        }
+        let mut defects = Vec::new();
+        if self.bernoulli(self.model.p_type_error * spec.difficulty * penalty) {
+            defects.push(DefectKind::TypeError);
+        }
+        if self.bernoulli(self.model.p_simple * spec.difficulty * penalty) {
+            defects.push(DefectKind::SimpleLogic);
+        }
+        if self.bernoulli(self.model.p_complex * spec.difficulty * penalty) {
+            defects.push(DefectKind::ComplexLogic);
+        }
+        let p_interop = if self.types_stable && style != PromptStyle::Monolithic {
+            self.model.p_interop_stable
+        } else {
+            self.model.p_interop_text
+        };
+        for _ in 0..spec.shared_types {
+            if self.bernoulli(p_interop * penalty.min(2.0)) {
+                defects.push(DefectKind::InteropMismatch);
+                break; // one mismatch per component is enough to fail integration
+            }
+        }
+        // ChatGPT "tends to generate shorter code" — LoC centres on the
+        // estimate with mild noise.
+        let noise = 1.0 + self.model.loc_noise * (self.rng.random::<f64>() * 2.0 - 1.0);
+        let loc = ((spec.loc_estimate as f64) * noise).round().max(5.0) as u32;
+        CodeArtifact { component: idx, loc, defects }
+    }
+
+    /// Respond to a debug prompt. Returns `true` if the targeted defect
+    /// class got fixed (the artifact is updated in place either way; a
+    /// regeneration may introduce churn).
+    pub fn debug(&mut self, artifact: &mut CodeArtifact, target: DefectKind, guideline: Guideline) -> bool {
+        let p = match (guideline, target) {
+            (Guideline::ErrorMessage, DefectKind::TypeError) => self.model.fix_error_message,
+            (Guideline::TestCase, DefectKind::SimpleLogic) => self.model.fix_test_case,
+            (Guideline::StepByStep, DefectKind::ComplexLogic) => self.model.fix_step_by_step,
+            (Guideline::StepByStep, _) => 0.7,
+            (Guideline::TestCase, DefectKind::TypeError) => 0.6,
+            (Guideline::TestCase, _) => 0.3,
+            (Guideline::ErrorMessage, _) => 0.2,
+        };
+        let fixed = self.bernoulli(p);
+        if fixed {
+            artifact.fix(target);
+        }
+        if self.bernoulli(self.model.churn) && !artifact.has(DefectKind::TypeError) {
+            artifact.defects.push(DefectKind::TypeError);
+        }
+        fixed
+    }
+}
+
+/// Which of §3.3's three debugging guidelines a debug prompt follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guideline {
+    /// Paste the compiler/runtime error message.
+    ErrorMessage,
+    /// Send the failing test case.
+    TestCase,
+    /// Re-specify the logic step by step.
+    StepByStep,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{PaperSpec, TargetSystem};
+
+    fn spec() -> ComponentSpec {
+        PaperSpec::for_system(TargetSystem::NcFlow).components[3].clone()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = spec();
+        let a = SimulatedLlm::new(9).implement(&s, 3, PromptStyle::ModularText);
+        let b = SimulatedLlm::new(9).implement(&s, 3, PromptStyle::ModularText);
+        assert_eq!(a.loc, b.loc);
+        assert_eq!(a.defects, b.defects);
+    }
+
+    #[test]
+    fn monolithic_breeds_more_defects() {
+        let s = spec();
+        let count = |style| {
+            let mut llm = SimulatedLlm::new(1);
+            (0..300).map(|i| llm.implement(&s, i, style).defects.len()).sum::<usize>()
+        };
+        let mono = count(PromptStyle::Monolithic);
+        let modular = count(PromptStyle::ModularText);
+        assert!(
+            mono > modular + modular / 4,
+            "monolithic {mono} not clearly worse than modular {modular}"
+        );
+    }
+
+    #[test]
+    fn pseudocode_first_reduces_interop_mismatches() {
+        let nc = PaperSpec::for_system(TargetSystem::NcFlow);
+        let count_interop = |style: PromptStyle| {
+            let mut total = 0;
+            for seed in 0..60 {
+                let mut llm = SimulatedLlm::new(seed);
+                for (i, c) in nc.components.iter().enumerate() {
+                    let a = llm.implement(c, i, style);
+                    total += a.defects.iter().filter(|&&d| d == DefectKind::InteropMismatch).count();
+                }
+            }
+            total
+        };
+        let text = count_interop(PromptStyle::ModularText);
+        let pseudo = count_interop(PromptStyle::ModularPseudocode);
+        assert!(
+            pseudo * 2 < text,
+            "pseudocode-first ({pseudo}) should at least halve interop bugs vs text ({text})"
+        );
+    }
+
+    #[test]
+    fn error_message_guideline_fixes_type_errors() {
+        let mut fixed = 0;
+        for seed in 0..200 {
+            let mut llm = SimulatedLlm::new(seed);
+            let mut a = CodeArtifact { component: 0, loc: 100, defects: vec![DefectKind::TypeError] };
+            if llm.debug(&mut a, DefectKind::TypeError, Guideline::ErrorMessage) {
+                fixed += 1;
+            }
+        }
+        assert!((150..=200).contains(&fixed), "fix rate {fixed}/200 out of range");
+    }
+
+    #[test]
+    fn mismatched_guideline_is_weak() {
+        let mut fixed = 0;
+        for seed in 0..200 {
+            let mut llm = SimulatedLlm::new(seed);
+            let mut a =
+                CodeArtifact { component: 0, loc: 100, defects: vec![DefectKind::ComplexLogic] };
+            if llm.debug(&mut a, DefectKind::ComplexLogic, Guideline::ErrorMessage) {
+                fixed += 1;
+            }
+        }
+        assert!(fixed < 90, "error-message prompts should rarely fix complex bugs: {fixed}");
+    }
+
+    #[test]
+    fn fix_removes_exactly_one_defect() {
+        let mut a = CodeArtifact {
+            component: 0,
+            loc: 10,
+            defects: vec![DefectKind::SimpleLogic, DefectKind::SimpleLogic],
+        };
+        a.fix(DefectKind::SimpleLogic);
+        assert_eq!(a.defects.len(), 1);
+    }
+
+    #[test]
+    fn loc_tracks_estimate() {
+        let s = spec();
+        let mut llm = SimulatedLlm::new(4);
+        for _ in 0..50 {
+            let a = llm.implement(&s, 0, PromptStyle::ModularText);
+            let lo = (s.loc_estimate as f64 * 0.8) as u32;
+            let hi = (s.loc_estimate as f64 * 1.2) as u32;
+            assert!((lo..=hi).contains(&a.loc), "loc {} vs estimate {}", a.loc, s.loc_estimate);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Serialisable experiment records and table formatting shared by the
+//! figure-regeneration binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// A generic experiment row: label plus named numeric columns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (instance, participant, year, …).
+    pub label: String,
+    /// `(column name, value)` pairs.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(label: impl Into<String>, values: Vec<(&str, f64)>) -> Row {
+        Row {
+            label: label.into(),
+            values: values.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+}
+
+/// A titled table of rows, printable and serialisable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table/figure id, e.g. `"Figure 4"`.
+    pub id: String,
+    /// Human caption.
+    pub caption: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// A new empty table.
+    pub fn new(id: &str, caption: &str) -> Table {
+        Table { id: id.to_string(), caption: caption.to_string(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.caption));
+        if self.rows.is_empty() {
+            out.push_str("(empty)\n");
+            return out;
+        }
+        let cols: Vec<String> = self.rows[0].values.iter().map(|(k, _)| k.clone()).collect();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(5))
+            .max()
+            .unwrap();
+        out.push_str(&format!("{:label_w$}", ""));
+        for c in &cols {
+            out.push_str(&format!("  {:>14}", c));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:label_w$}", r.label));
+            for (_, v) in &r.values {
+                if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                    out.push_str(&format!("  {:>14.3e}", v));
+                } else {
+                    out.push_str(&format!("  {:>14.3}", v));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialise to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Figure X", "test");
+        t.push(Row::new("abilene", vec![("flow", 12.5), ("ratio", 0.97)]));
+        t.push(Row::new("kdl", vec![("flow", 1500.0), ("ratio", 1.01)]));
+        let s = t.render();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("abilene"));
+        assert!(s.contains("flow"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut t = Table::new("T", "c");
+        t.push(Row::new("r", vec![("v", 1.0)]));
+        let j = t.to_json();
+        let back: Table = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].label, "r");
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = Table::new("E", "empty");
+        assert!(t.render().contains("(empty)"));
+    }
+}

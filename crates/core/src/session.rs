@@ -1,0 +1,268 @@
+//! The reproduction session: a participant prompt-engineering the
+//! (simulated) LLM from first prompt to assembled prototype.
+//!
+//! The loop follows the paper's §3.1 procedure and §3.3 lessons:
+//!
+//! 1. an initial monolithic attempt that fails and is discarded;
+//! 2. component-by-component implementation (pseudocode-backed
+//!    components first, when the strategy says so);
+//! 3. a compile/debug loop (error-message prompts kill type errors);
+//! 4. a test/debug loop (test-case prompts kill simple bugs; complex
+//!    bugs need step-by-step prompts — participants who never escalate
+//!    keep residual complex bugs, like participant D);
+//! 5. integration, where interop mismatches surface and are repaired.
+
+use crate::artifact::PrototypeArtifact;
+use crate::llm::{CodeArtifact, DefectKind, Guideline, SimulatedLlm};
+use crate::paper::PaperSpec;
+use crate::prompt::{Prompt, PromptKind, PromptStyle};
+use crate::student::Participant;
+use serde::{Deserialize, Serialize};
+
+/// A full session transcript plus its outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Participant letter.
+    pub participant: String,
+    /// Every prompt sent, in order.
+    pub prompts: Vec<Prompt>,
+    /// The assembled prototype.
+    pub artifact: PrototypeArtifact,
+    /// Defects that were never repaired (shipped in the prototype).
+    pub residual_defects: Vec<DefectKind>,
+}
+
+impl SessionReport {
+    /// Number of prompts (Figure 4, left axis).
+    pub fn total_prompts(&self) -> usize {
+        self.prompts.len()
+    }
+
+    /// Total words across prompts (Figure 4, right axis).
+    pub fn total_words(&self) -> u64 {
+        self.prompts.iter().map(|p| p.words as u64).sum()
+    }
+}
+
+/// Drives one participant through one reproduction.
+#[derive(Debug)]
+pub struct ReproductionSession {
+    participant: Participant,
+    llm: SimulatedLlm,
+}
+
+impl ReproductionSession {
+    /// A session for `participant` against a fresh simulated LLM.
+    pub fn new(participant: Participant, llm_seed: u64) -> Self {
+        ReproductionSession { participant, llm: SimulatedLlm::new(llm_seed) }
+    }
+
+    /// Run to completion; deterministic given the seed.
+    pub fn run(mut self) -> SessionReport {
+        let spec = PaperSpec::for_system(self.participant.system);
+        let strategy = self.participant.strategy.clone();
+        let mut prompts: Vec<Prompt> = Vec::new();
+
+        // Phase 0: the doomed monolithic attempt (§3.3 lesson 1). The
+        // response is unusable and discarded; only the prompt cost and
+        // the lesson remain.
+        if strategy.start_monolithic {
+            let words: u32 =
+                30 + spec.components.iter().map(|c| c.description_words / 2).sum::<u32>();
+            prompts.push(Prompt {
+                style: PromptStyle::Monolithic,
+                kind: PromptKind::Implement { component: 0 },
+                words,
+            });
+            for (i, c) in spec.components.iter().enumerate() {
+                // Generate and discard: the monolithic response exists
+                // but is too defective to keep.
+                let _ = self.llm.implement(c, i, PromptStyle::Monolithic);
+            }
+        }
+
+        // Component order (lesson 2: pseudocode first).
+        let mut order: Vec<usize> = (0..spec.components.len()).collect();
+        if strategy.pseudocode_first {
+            order.sort_by_key(|&i| !spec.components[i].has_pseudocode);
+        }
+
+        let mut artifacts: Vec<CodeArtifact> = Vec::new();
+        for &idx in &order {
+            let c = &spec.components[idx];
+            prompts.push(Prompt {
+                style: strategy.style,
+                kind: PromptKind::Implement { component: idx },
+                words: Prompt::implement_words(strategy.style, c.description_words, c.has_pseudocode),
+            });
+            let mut art = self.llm.implement(c, idx, strategy.style);
+
+            // Compile loop: type errors are always visible.
+            let mut rounds = 0;
+            while art.has(DefectKind::TypeError) && rounds < strategy.max_debug_rounds {
+                let kind = PromptKind::DebugErrorMessage { component: idx };
+                prompts.push(Prompt { style: strategy.style, words: Prompt::debug_words(&kind), kind });
+                self.llm.debug(&mut art, DefectKind::TypeError, Guideline::ErrorMessage);
+                rounds += 1;
+            }
+
+            // Test loop: bugs must first be *caught* by the participant's
+            // tests, then debugged with the matching guideline.
+            let mut rounds = 0;
+            while rounds < strategy.max_debug_rounds {
+                rounds += 1;
+                let caught_simple = art.has(DefectKind::SimpleLogic)
+                    && self.coin(strategy.test_quality_simple);
+                let caught_complex = art.has(DefectKind::ComplexLogic)
+                    && self.coin(strategy.test_quality_complex);
+                if caught_simple {
+                    let kind = PromptKind::DebugTestCase { component: idx };
+                    prompts.push(Prompt { style: strategy.style, words: Prompt::debug_words(&kind), kind });
+                    self.llm.debug(&mut art, DefectKind::SimpleLogic, Guideline::TestCase);
+                } else if caught_complex {
+                    let (kind, guideline) = if strategy.uses_step_by_step {
+                        (PromptKind::DebugStepByStep { component: idx }, Guideline::StepByStep)
+                    } else {
+                        (PromptKind::DebugTestCase { component: idx }, Guideline::TestCase)
+                    };
+                    prompts.push(Prompt { style: strategy.style, words: Prompt::debug_words(&kind), kind });
+                    self.llm.debug(&mut art, DefectKind::ComplexLogic, guideline);
+                } else if !art.has(DefectKind::TypeError) {
+                    break; // nothing visible left
+                }
+                // Churn may reintroduce type errors: clear them.
+                while art.has(DefectKind::TypeError) {
+                    let kind = PromptKind::DebugErrorMessage { component: idx };
+                    prompts.push(Prompt { style: strategy.style, words: Prompt::debug_words(&kind), kind });
+                    self.llm.debug(&mut art, DefectKind::TypeError, Guideline::ErrorMessage);
+                }
+            }
+            artifacts.push(art);
+        }
+
+        // Integration: one prompt to piece things together, plus a
+        // repair per interop mismatch that surfaces.
+        prompts.push(Prompt { style: strategy.style, kind: PromptKind::Integrate, words: 60 });
+        for art in artifacts.iter_mut() {
+            let mut rounds = 0;
+            while art.has(DefectKind::InteropMismatch) && rounds < strategy.max_debug_rounds {
+                let kind = PromptKind::DebugStepByStep { component: art.component };
+                prompts.push(Prompt { style: strategy.style, words: Prompt::debug_words(&kind), kind });
+                // Integration failures are always visible (the pieces
+                // don't fit), and the step-by-step respecification
+                // rebuilds the shared types: guaranteed fix after the
+                // prompt round-trip.
+                self.llm.debug(art, DefectKind::InteropMismatch, Guideline::StepByStep);
+                art.fix(DefectKind::InteropMismatch);
+                rounds += 1;
+            }
+        }
+
+        // Final compile pass: integration repairs may have churned new
+        // type errors in; those always surface and get fixed.
+        for art in artifacts.iter_mut() {
+            while art.has(DefectKind::TypeError) {
+                let kind = PromptKind::DebugErrorMessage { component: art.component };
+                prompts.push(Prompt { style: strategy.style, words: Prompt::debug_words(&kind), kind });
+                self.llm.debug(art, DefectKind::TypeError, Guideline::ErrorMessage);
+            }
+        }
+
+        let residual_defects: Vec<DefectKind> =
+            artifacts.iter().flat_map(|a| a.defects.iter().copied()).collect();
+        let artifact = PrototypeArtifact::assemble(&spec, &artifacts);
+        SessionReport {
+            participant: self.participant.name.clone(),
+            prompts,
+            artifact,
+            residual_defects,
+        }
+    }
+
+    fn coin(&mut self, p: f64) -> bool {
+        // Participant-side randomness shares the LLM's RNG stream so a
+        // single seed reproduces the entire session.
+        use rand::Rng;
+        self.llm.session_rng().random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::TargetSystem;
+    use crate::student::Participant;
+
+    fn run(system: TargetSystem, seed: u64) -> SessionReport {
+        ReproductionSession::new(Participant::preset(system), seed).run()
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let a = run(TargetSystem::NcFlow, 42);
+        let b = run(TargetSystem::NcFlow, 42);
+        assert_eq!(a.total_prompts(), b.total_prompts());
+        assert_eq!(a.total_words(), b.total_words());
+        assert_eq!(a.artifact.loc, b.artifact.loc);
+    }
+
+    #[test]
+    fn every_participant_finishes_with_all_components() {
+        for sys in TargetSystem::EXPERIMENT {
+            let r = run(sys, 7);
+            let spec = crate::paper::PaperSpec::for_system(sys);
+            assert_eq!(r.artifact.components, spec.components.len());
+            assert!(r.artifact.loc > 0);
+        }
+    }
+
+    #[test]
+    fn prompt_counts_are_tens_not_thousands() {
+        for sys in TargetSystem::EXPERIMENT {
+            let r = run(sys, 3);
+            assert!(
+                (10..=200).contains(&r.total_prompts()),
+                "{sys:?}: {} prompts",
+                r.total_prompts()
+            );
+            assert!(
+                (1_000..=40_000).contains(&r.total_words()),
+                "{sys:?}: {} words",
+                r.total_words()
+            );
+        }
+    }
+
+    #[test]
+    fn type_errors_never_ship() {
+        for sys in TargetSystem::EXPERIMENT {
+            for seed in 0..10 {
+                let r = run(sys, seed);
+                assert!(
+                    !r.residual_defects.contains(&DefectKind::TypeError),
+                    "{sys:?} seed {seed} shipped a type error"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weak_tester_ships_more_residual_bugs() {
+        // Participant D (no step-by-step, weaker tests) should keep more
+        // residual logic bugs than A across seeds, reproducing the §3.2
+        // accuracy asymmetry at the process level.
+        let total = |sys| -> usize {
+            (0..40u64).map(|s| run(sys, s).residual_defects.len()).sum()
+        };
+        let a = total(TargetSystem::NcFlow);
+        let d = total(TargetSystem::ApVerifier);
+        assert!(d > a, "D residuals {d} should exceed A residuals {a}");
+    }
+
+    #[test]
+    fn rps_session_is_tiny() {
+        let r = run(TargetSystem::RockPaperScissors, 0);
+        assert!(r.total_prompts() <= 12, "{} prompts", r.total_prompts());
+        assert!(r.artifact.loc <= 150);
+    }
+}

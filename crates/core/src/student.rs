@@ -1,0 +1,155 @@
+//! Participant strategies.
+//!
+//! A strategy fixes *how* a participant prompts and debugs. The presets
+//! mirror the four participants of §3: all of them start with a
+//! monolithic attempt (which fails, per §3.3) and switch to modular
+//! prompting; two of them discover pseudocode-first; participant D, a
+//! non-CS major, writes fewer tests and rarely escalates to
+//! step-by-step re-specification.
+
+use crate::paper::TargetSystem;
+use crate::prompt::PromptStyle;
+use serde::{Deserialize, Serialize};
+
+/// A participant's prompting/debugging policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Strategy {
+    /// Style used after the initial monolithic failure.
+    pub style: PromptStyle,
+    /// Try the whole-system prompt first (all participants did).
+    pub start_monolithic: bool,
+    /// Reorder components so pseudocode-backed ones come first.
+    pub pseudocode_first: bool,
+    /// Probability the participant's test cases catch a simple bug per
+    /// testing round.
+    pub test_quality_simple: f64,
+    /// Probability of catching a complex bug per testing round.
+    pub test_quality_complex: f64,
+    /// Whether the participant escalates to step-by-step prompts for
+    /// complex bugs (vs retrying with test cases).
+    pub uses_step_by_step: bool,
+    /// Debug rounds per defect before giving up (residual defect).
+    pub max_debug_rounds: u32,
+}
+
+/// A participant: identity plus strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Participant {
+    /// Participant letter ("A".."D").
+    pub name: String,
+    /// The system they reproduce.
+    pub system: TargetSystem,
+    /// Their policy.
+    pub strategy: Strategy,
+}
+
+impl Participant {
+    /// The preset matching the paper's participant for `system`.
+    pub fn preset(system: TargetSystem) -> Participant {
+        let strategy = match system {
+            // A: CS master's student; found pseudocode-first.
+            TargetSystem::NcFlow => Strategy {
+                style: PromptStyle::ModularPseudocode,
+                start_monolithic: true,
+                pseudocode_first: true,
+                test_quality_simple: 0.9,
+                test_quality_complex: 0.7,
+                uses_step_by_step: true,
+                max_debug_rounds: 6,
+            },
+            // B: modular text prompting straight from the paper text.
+            TargetSystem::Arrow => Strategy {
+                style: PromptStyle::ModularText,
+                start_monolithic: true,
+                pseudocode_first: false,
+                test_quality_simple: 0.85,
+                test_quality_complex: 0.65,
+                uses_step_by_step: true,
+                max_debug_rounds: 6,
+            },
+            // C: the other pseudocode-first discoverer.
+            TargetSystem::ApKeep => Strategy {
+                style: PromptStyle::ModularPseudocode,
+                start_monolithic: true,
+                pseudocode_first: true,
+                test_quality_simple: 0.9,
+                test_quality_complex: 0.7,
+                uses_step_by_step: true,
+                max_debug_rounds: 6,
+            },
+            // D: information-and-computing-science major; fewer tests,
+            // no step-by-step escalation.
+            TargetSystem::ApVerifier => Strategy {
+                style: PromptStyle::ModularText,
+                start_monolithic: true,
+                pseudocode_first: false,
+                test_quality_simple: 0.75,
+                test_quality_complex: 0.5,
+                uses_step_by_step: false,
+                max_debug_rounds: 5,
+            },
+            // The undergrad of the motivating example: 4 prompts total,
+            // so no monolithic detour and no heavy debugging.
+            TargetSystem::RockPaperScissors => Strategy {
+                style: PromptStyle::ModularText,
+                start_monolithic: false,
+                pseudocode_first: false,
+                test_quality_simple: 0.9,
+                test_quality_complex: 0.8,
+                uses_step_by_step: false,
+                max_debug_rounds: 2,
+            },
+        };
+        Participant {
+            name: system.participant().to_string(),
+            system,
+            strategy,
+        }
+    }
+
+    /// All four experiment participants in order.
+    pub fn experiment_roster() -> Vec<Participant> {
+        TargetSystem::EXPERIMENT.iter().map(|&s| Participant::preset(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_paper() {
+        let roster = Participant::experiment_roster();
+        assert_eq!(roster.len(), 4);
+        assert_eq!(roster[0].name, "A");
+        assert_eq!(roster[0].system, TargetSystem::NcFlow);
+        assert_eq!(roster[3].name, "D");
+        assert_eq!(roster[3].system, TargetSystem::ApVerifier);
+    }
+
+    #[test]
+    fn everyone_starts_monolithic() {
+        for p in Participant::experiment_roster() {
+            assert!(p.strategy.start_monolithic, "{} must start monolithic", p.name);
+        }
+    }
+
+    #[test]
+    fn d_is_the_weakest_tester() {
+        let roster = Participant::experiment_roster();
+        let d = &roster[3];
+        for p in &roster[..3] {
+            assert!(d.strategy.test_quality_simple <= p.strategy.test_quality_simple);
+        }
+        assert!(!d.strategy.uses_step_by_step);
+    }
+
+    #[test]
+    fn pseudocode_first_pairs_with_pseudocode_style() {
+        for p in Participant::experiment_roster() {
+            if p.strategy.pseudocode_first {
+                assert_eq!(p.strategy.style, PromptStyle::ModularPseudocode);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The experiment calendar of §3.1: each participant works in a 25-day
+//! window during spare time, with an online progress meeting every
+//! three to five days.
+//!
+//! [`schedule`] lays a session's prompts onto that calendar
+//! deterministically: effort is spread over working evenings, meeting
+//! days carry no prompting (the paper's meetings discussed progress and
+//! system-design advice, never prompts). The result feeds the
+//! transcript and gives "days elapsed" — the cost metric the paper's
+//! abstract argues LLM assistance shrinks.
+
+use crate::session::SessionReport;
+use serde::{Deserialize, Serialize};
+
+/// The experiment window in days (§3.1).
+pub const WINDOW_DAYS: u32 = 25;
+
+/// One calendar day of the reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Day {
+    /// 1-based day number.
+    pub day: u32,
+    /// Whether a progress meeting happened (no prompting that day).
+    pub meeting: bool,
+    /// Indices into `SessionReport::prompts` sent on this day.
+    pub prompts: Vec<usize>,
+}
+
+/// A session laid onto the 25-day calendar.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timeline {
+    /// The calendar, day 1 to the last active day.
+    pub days: Vec<Day>,
+}
+
+impl Timeline {
+    /// The number of days until the final prompt (the paper's
+    /// completion-time measure).
+    pub fn days_elapsed(&self) -> u32 {
+        self.days
+            .iter()
+            .rev()
+            .find(|d| !d.prompts.is_empty())
+            .map(|d| d.day)
+            .unwrap_or(0)
+    }
+
+    /// Number of meetings held up to completion.
+    pub fn meetings_held(&self) -> usize {
+        let last = self.days_elapsed();
+        self.days.iter().filter(|d| d.meeting && d.day <= last).count()
+    }
+}
+
+/// Lay `report` onto the calendar. `prompts_per_evening` models how
+/// much spare time the participant has (the paper's students worked
+/// alongside coursework; 2–4 prompts per evening is the reported pace).
+pub fn schedule(report: &SessionReport, prompts_per_evening: usize) -> Timeline {
+    assert!(prompts_per_evening > 0);
+    let mut days = Vec::new();
+    let mut next_prompt = 0usize;
+    let total = report.prompts.len();
+    let mut day = 1u32;
+    // Meetings every 4 days (the middle of the paper's "three to five").
+    while next_prompt < total && day <= WINDOW_DAYS {
+        let meeting = day % 4 == 0;
+        let mut prompts = Vec::new();
+        if !meeting {
+            for _ in 0..prompts_per_evening {
+                if next_prompt >= total {
+                    break;
+                }
+                prompts.push(next_prompt);
+                next_prompt += 1;
+            }
+        }
+        days.push(Day { day, meeting, prompts });
+        day += 1;
+    }
+    // Overflow beyond the window: the remaining prompts pile onto the
+    // final day (a deadline crunch, faithfully modelled).
+    if next_prompt < total {
+        if let Some(last) = days.last_mut() {
+            last.prompts.extend(next_prompt..total);
+        }
+    }
+    Timeline { days }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::TargetSystem;
+    use crate::student::Participant;
+    use crate::ReproductionSession;
+
+    fn report(sys: TargetSystem) -> SessionReport {
+        ReproductionSession::new(Participant::preset(sys), 2023).run()
+    }
+
+    #[test]
+    fn every_prompt_lands_on_exactly_one_day() {
+        let r = report(TargetSystem::NcFlow);
+        let t = schedule(&r, 3);
+        let mut all: Vec<usize> = t.days.iter().flat_map(|d| d.prompts.clone()).collect();
+        all.sort();
+        let expect: Vec<usize> = (0..r.prompts.len()).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn meetings_carry_no_prompts_inside_window() {
+        let r = report(TargetSystem::ApKeep);
+        let t = schedule(&r, 2);
+        for d in &t.days {
+            if d.meeting && d.day < WINDOW_DAYS {
+                // Only the deadline-crunch final day may break the rule.
+                if d.day != t.days.last().unwrap().day {
+                    assert!(d.prompts.is_empty(), "meeting day {} has prompts", d.day);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finishes_within_the_window() {
+        for sys in TargetSystem::EXPERIMENT {
+            let r = report(sys);
+            let t = schedule(&r, 3);
+            assert!(
+                t.days_elapsed() <= WINDOW_DAYS,
+                "{sys:?} took {} days",
+                t.days_elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn slower_pace_takes_more_days() {
+        let r = report(TargetSystem::Arrow);
+        let fast = schedule(&r, 6).days_elapsed();
+        let slow = schedule(&r, 1).days_elapsed();
+        assert!(slow >= fast);
+    }
+
+    #[test]
+    fn meeting_cadence_is_every_fourth_day() {
+        let r = report(TargetSystem::NcFlow);
+        let t = schedule(&r, 1);
+        for d in &t.days {
+            assert_eq!(d.meeting, d.day % 4 == 0);
+        }
+        assert!(t.meetings_held() >= 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Transcript rendering: turn a [`SessionReport`] into the kind of
+//! readable conversation log the paper's authors published alongside
+//! the experiment (reference [15] — a Dropbox of ChatGPT logs).
+//!
+//! The renderer is deterministic and lossless with respect to prompt
+//! structure: one numbered entry per prompt, grouped by phase, with
+//! word counts and a final artifact summary. It exists so sessions can
+//! be archived, diffed and inspected the way the originals were.
+
+use crate::paper::PaperSpec;
+use crate::prompt::{PromptKind, PromptStyle};
+use crate::session::SessionReport;
+
+/// Render a full session log.
+pub fn render(report: &SessionReport, spec: &PaperSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== reproduction log — participant {} / {} ===\n",
+        report.participant,
+        spec.system.name()
+    ));
+    out.push_str(&format!(
+        "{} prompts, {} words total\n\n",
+        report.total_prompts(),
+        report.total_words()
+    ));
+
+    let mut current_component: Option<usize> = None;
+    for (i, p) in report.prompts.iter().enumerate() {
+        let comp = component_of(&p.kind);
+        if comp != current_component {
+            current_component = comp;
+            match comp {
+                Some(c) => out.push_str(&format!(
+                    "\n-- component {}: {} --\n",
+                    c + 1,
+                    spec.components
+                        .get(c)
+                        .map(|s| s.name.as_str())
+                        .unwrap_or("<unknown>")
+                )),
+                None => out.push_str("\n-- integration --\n"),
+            }
+        }
+        out.push_str(&format!(
+            "[{:>3}] {:<12} {:<28} ({} words)\n",
+            i + 1,
+            style_tag(p.style),
+            kind_tag(&p.kind),
+            p.words
+        ));
+    }
+
+    out.push_str(&format!(
+        "\n=== artifact: {} LoC over {} components ({:.0}% of open-source) ===\n",
+        report.artifact.loc,
+        report.artifact.components,
+        100.0 * report.artifact.loc_ratio()
+    ));
+    if report.residual_defects.is_empty() {
+        out.push_str("residual defects: none\n");
+    } else {
+        out.push_str(&format!("residual defects: {:?}\n", report.residual_defects));
+    }
+    out
+}
+
+fn component_of(kind: &PromptKind) -> Option<usize> {
+    match kind {
+        PromptKind::Implement { component }
+        | PromptKind::DebugErrorMessage { component }
+        | PromptKind::DebugTestCase { component }
+        | PromptKind::DebugStepByStep { component } => Some(*component),
+        PromptKind::Integrate => None,
+    }
+}
+
+fn style_tag(style: PromptStyle) -> &'static str {
+    match style {
+        PromptStyle::Monolithic => "monolithic",
+        PromptStyle::ModularText => "modular",
+        PromptStyle::ModularPseudocode => "pseudocode",
+    }
+}
+
+fn kind_tag(kind: &PromptKind) -> String {
+    match kind {
+        PromptKind::Implement { .. } => "implement".into(),
+        PromptKind::DebugErrorMessage { .. } => "debug: error message".into(),
+        PromptKind::DebugTestCase { .. } => "debug: failing test case".into(),
+        PromptKind::DebugStepByStep { .. } => "debug: step-by-step spec".into(),
+        PromptKind::Integrate => "integrate components".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::TargetSystem;
+    use crate::student::Participant;
+    use crate::ReproductionSession;
+
+    fn sample() -> (SessionReport, PaperSpec) {
+        let r = ReproductionSession::new(Participant::preset(TargetSystem::NcFlow), 11).run();
+        (r, PaperSpec::for_system(TargetSystem::NcFlow))
+    }
+
+    #[test]
+    fn renders_header_and_footer() {
+        let (r, spec) = sample();
+        let log = render(&r, &spec);
+        assert!(log.contains("participant A / NCFlow"));
+        assert!(log.contains("=== artifact:"));
+    }
+
+    #[test]
+    fn one_line_per_prompt() {
+        let (r, spec) = sample();
+        let log = render(&r, &spec);
+        let entries = log.lines().filter(|l| l.trim_start().starts_with('[')).count();
+        assert_eq!(entries, r.total_prompts());
+    }
+
+    #[test]
+    fn names_components_from_the_spec() {
+        let (r, spec) = sample();
+        let log = render(&r, &spec);
+        assert!(log.contains(&spec.components[0].name));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (r, spec) = sample();
+        assert_eq!(render(&r, &spec), render(&r, &spec));
+    }
+}

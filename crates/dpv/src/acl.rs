@@ -1,0 +1,244 @@
+//! Access-control lists on egress ports.
+//!
+//! The AP paper's evaluation networks carry ACLs alongside forwarding
+//! tables; a packet leaves a port only if the port's ACL permits it.
+//! An [`AclTable`] is a prioritised first-match list of permit/deny
+//! rules over `(source prefix, destination prefix, destination-port
+//! range)`, with a configurable default.
+
+use crate::header::{HeaderLayout, Prefix};
+use netrepro_bdd::{BddManager, Ref, FALSE};
+
+/// One ACL entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AclRule {
+    /// Source-address prefix (ANY when the layout has no source field).
+    pub src: Prefix,
+    /// Destination-address prefix.
+    pub dst: Prefix,
+    /// Inclusive destination-port range; `None` matches every port.
+    pub dport: Option<(u16, u16)>,
+    /// Permit (true) or deny (false) on match.
+    pub permit: bool,
+}
+
+impl AclRule {
+    /// A rule denying `src → dst` on every port.
+    pub fn deny(src: Prefix, dst: Prefix) -> AclRule {
+        AclRule { src, dst, dport: None, permit: false }
+    }
+
+    /// A rule permitting `src → dst` on every port.
+    pub fn permit(src: Prefix, dst: Prefix) -> AclRule {
+        AclRule { src, dst, dport: None, permit: true }
+    }
+
+    /// Match predicate of this rule.
+    pub fn match_pred(&self, layout: &HeaderLayout, m: &mut BddManager) -> Ref {
+        let mut pred = layout.prefix_pred(m, self.dst);
+        if layout.src_width > 0 && self.src.len > 0 {
+            m.ref_inc(pred);
+            let sp = layout.src_prefix_pred(m, self.src);
+            m.ref_inc(sp);
+            let np = m.and(pred, sp);
+            m.ref_dec(pred);
+            m.ref_dec(sp);
+            pred = np;
+        }
+        if let Some((lo, hi)) = self.dport {
+            assert!(layout.port_width > 0, "port match on a layout without ports");
+            m.ref_inc(pred);
+            let pp = layout.port_range_pred(m, lo, hi);
+            m.ref_inc(pp);
+            let np = m.and(pred, pp);
+            m.ref_dec(pred);
+            m.ref_dec(pp);
+            pred = np;
+        }
+        pred
+    }
+}
+
+/// A first-match ACL with a default action.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AclTable {
+    /// Rules, highest priority first.
+    pub rules: Vec<AclRule>,
+    /// Whether unmatched packets are denied (the common router default
+    /// is permit-all when no ACL is configured, deny-all when one is).
+    pub default_deny: bool,
+}
+
+impl AclTable {
+    /// An empty permit-everything table.
+    pub fn permit_all() -> AclTable {
+        AclTable { rules: Vec::new(), default_deny: false }
+    }
+
+    /// A deny-by-default table with the given rules.
+    pub fn deny_by_default(rules: Vec<AclRule>) -> AclTable {
+        AclTable { rules, default_deny: true }
+    }
+
+    /// The permitted header space: first-match semantics compiled to a
+    /// single predicate.
+    pub fn permit_pred(&self, layout: &HeaderLayout, m: &mut BddManager) -> Ref {
+        let mut permitted = FALSE;
+        let mut covered = FALSE;
+        m.ref_inc(permitted);
+        m.ref_inc(covered);
+        for rule in &self.rules {
+            let matched = rule.match_pred(layout, m);
+            m.ref_inc(matched);
+            let hit = m.diff(matched, covered);
+            m.ref_inc(hit);
+            if rule.permit {
+                let np = m.or(permitted, hit);
+                m.ref_inc(np);
+                m.ref_dec(permitted);
+                permitted = np;
+            }
+            let nc = m.or(covered, matched);
+            m.ref_inc(nc);
+            m.ref_dec(covered);
+            covered = nc;
+            m.ref_dec(matched);
+            m.ref_dec(hit);
+        }
+        if !self.default_deny {
+            let residue = m.not(covered);
+            m.ref_inc(residue);
+            let np = m.or(permitted, residue);
+            m.ref_inc(np);
+            m.ref_dec(permitted);
+            m.ref_dec(residue);
+            permitted = np;
+        }
+        m.ref_dec(covered);
+        // Leave exactly one protection on the result for the caller.
+        permitted
+    }
+
+    /// Scan oracle: is a concrete packet permitted?
+    pub fn permits(&self, layout: &HeaderLayout, src: u32, dst: u32, dport: u16) -> bool {
+        for r in &self.rules {
+            let src_ok = layout.src_width == 0 || r.src.len == 0 || r.src.contains(src, layout.src_width);
+            let dst_ok = r.dst.contains(dst, layout.width);
+            let port_ok = match r.dport {
+                None => true,
+                Some((lo, hi)) => (lo..=hi).contains(&dport),
+            };
+            if src_ok && dst_ok && port_ok {
+                return r.permit;
+            }
+        }
+        !self.default_deny
+    }
+}
+
+/// Build the assignment bits for a concrete `(dst, src, dport)` packet
+/// under `layout` (for evaluating compiled predicates in tests).
+pub fn packet_bits(layout: &HeaderLayout, dst: u32, src: u32, dport: u16) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(layout.total_bits() as usize);
+    for i in 0..layout.width {
+        bits.push((dst >> (layout.width - 1 - i)) & 1 == 1);
+    }
+    for i in 0..layout.src_width {
+        bits.push((src >> (layout.src_width - 1 - i)) & 1 == 1);
+    }
+    for i in 0..layout.port_width {
+        bits.push((u32::from(dport) >> (layout.port_width - 1 - i)) & 1 == 1);
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrepro_bdd::{EngineProfile, TRUE};
+
+    fn layout() -> HeaderLayout {
+        HeaderLayout::with_acl_fields(8, 8, 6)
+    }
+
+    #[test]
+    fn permit_all_is_true() {
+        let l = layout();
+        let mut m = l.manager(EngineProfile::Cached);
+        let t = AclTable::permit_all();
+        assert_eq!(t.permit_pred(&l, &mut m), TRUE);
+    }
+
+    #[test]
+    fn empty_deny_by_default_is_false() {
+        let l = layout();
+        let mut m = l.manager(EngineProfile::Cached);
+        let t = AclTable::deny_by_default(vec![]);
+        assert_eq!(t.permit_pred(&l, &mut m), FALSE);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let l = layout();
+        let mut m = l.manager(EngineProfile::Cached);
+        let dst = Prefix { addr: 0b1010_0000, len: 4 };
+        // Deny the /4 first, then permit everything: the deny shadows.
+        let t = AclTable {
+            rules: vec![AclRule::deny(Prefix::ANY, dst), AclRule::permit(Prefix::ANY, Prefix::ANY)],
+            default_deny: true,
+        };
+        let p = t.permit_pred(&l, &mut m);
+        // Permitted space excludes the 16 dst addresses of the /4
+        // (times full src/port space).
+        let total = 2f64.powi(l.total_bits() as i32);
+        assert_eq!(m.sat_count(p), total * (240.0 / 256.0));
+    }
+
+    #[test]
+    fn compiled_pred_agrees_with_scan_oracle() {
+        let l = layout();
+        let mut m = l.manager(EngineProfile::Cached);
+        let t = AclTable {
+            rules: vec![
+                AclRule {
+                    src: Prefix { addr: 0b1100_0000, len: 2 },
+                    dst: Prefix { addr: 0b0000_0000, len: 1 },
+                    dport: Some((10, 20)),
+                    permit: true,
+                },
+                AclRule::deny(Prefix { addr: 0b1100_0000, len: 2 }, Prefix::ANY),
+                AclRule::permit(Prefix::ANY, Prefix::ANY),
+            ],
+            default_deny: true,
+        };
+        let p = t.permit_pred(&l, &mut m);
+        // Exhaustive over a reduced sample grid.
+        for src in (0u32..256).step_by(17) {
+            for dst in (0u32..256).step_by(13) {
+                for dport in [0u16, 9, 10, 15, 20, 21, 63] {
+                    let bits = packet_bits(&l, dst, src, dport);
+                    assert_eq!(
+                        m.eval(p, &bits),
+                        t.permits(&l, src, dst, dport),
+                        "src={src} dst={dst} dport={dport}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn port_ranges_bind() {
+        let l = layout();
+        let mut m = l.manager(EngineProfile::Cached);
+        let t = AclTable::deny_by_default(vec![AclRule {
+            src: Prefix::ANY,
+            dst: Prefix::ANY,
+            dport: Some((5, 8)),
+            permit: true,
+        }]);
+        let p = t.permit_pred(&l, &mut m);
+        let total = 2f64.powi(l.total_bits() as i32);
+        assert_eq!(m.sat_count(p), total * (4.0 / 64.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Seeded FIB-dataset generation.
+//!
+//! The AP and APKeep evaluations use router configurations from real
+//! networks (Internet2, Stanford, Purdue, …). Those datasets cannot be
+//! redistributed, so this module synthesises FIBs of the same shape:
+//! every device owns address prefixes, every other device installs
+//! longest-prefix routes toward them along shortest paths, and an
+//! optional fault rate injects more-specific rules that create the
+//! loops and blackholes the verifiers are meant to find.
+
+use crate::header::{HeaderLayout, Prefix};
+use crate::network::{Action, Network, Rule};
+use netrepro_graph::paths::dijkstra_path;
+use netrepro_graph::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`generate`].
+#[derive(Debug, Clone)]
+pub struct DatasetOpts {
+    /// Prefixes owned per device (>= 1).
+    pub prefixes_per_device: usize,
+    /// Probability that a device gains a faulty more-specific rule.
+    pub fault_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetOpts {
+    fn default() -> Self {
+        DatasetOpts { prefixes_per_device: 1, fault_rate: 0.0, seed: 0 }
+    }
+}
+
+/// A generated dataset: the populated network plus each device's owned
+/// prefixes (`owned[d]` are the prefixes delivered at device `d`).
+#[derive(Debug, Clone)]
+pub struct FibDataset {
+    /// The populated data plane.
+    pub network: Network,
+    /// Owned prefixes per device.
+    pub owned: Vec<Vec<Prefix>>,
+}
+
+/// Generate a dataset over `graph`. The header width must satisfy
+/// `2^width >= num_nodes * prefixes_per_device * 2`.
+pub fn generate(graph: DiGraph, layout: HeaderLayout, opts: &DatasetOpts) -> FibDataset {
+    let n = graph.num_nodes();
+    let total_prefixes = n * opts.prefixes_per_device;
+    let id_bits = (usize::BITS - (total_prefixes - 1).leading_zeros()).max(1);
+    assert!(
+        id_bits <= layout.width,
+        "header width {} too narrow for {} prefixes",
+        layout.width,
+        total_prefixes
+    );
+    let plen = id_bits as u8;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Owned prefixes: dense ids left-aligned into the header.
+    let mut owned: Vec<Vec<Prefix>> = vec![Vec::new(); n];
+    let mut next_id: u32 = 0;
+    for d in 0..n {
+        for _ in 0..opts.prefixes_per_device {
+            let addr = next_id << (layout.width - plen as u32);
+            owned[d].push(Prefix { addr, len: plen });
+            next_id += 1;
+        }
+    }
+
+    let mut net = Network::new(graph, layout);
+
+    // Routes: for each destination device d and owned prefix p, every
+    // other device forwards along its shortest path toward d.
+    let nn = net.graph.num_nodes();
+    let no_nodes = vec![false; nn];
+    let no_edges = vec![false; net.graph.num_edges()];
+    for d in 0..n {
+        let dst = NodeId(d as u32);
+        for &p in &owned[d] {
+            net.devices[d].insert(Rule { prefix: p, priority: p.len as u32, action: Action::Deliver });
+            for v in 0..n {
+                if v == d {
+                    continue;
+                }
+                let src = NodeId(v as u32);
+                if let Some(path) = dijkstra_path(&net.graph, src, dst, &no_nodes, &no_edges) {
+                    let first = path.edges[0];
+                    net.devices[v].insert(Rule {
+                        prefix: p,
+                        priority: p.len as u32,
+                        action: Action::Forward(first),
+                    });
+                }
+            }
+        }
+    }
+
+    // Fault injection: more-specific rules that deflect part of an owned
+    // prefix to a random neighbour (possible loop) or drop it (blackhole).
+    for v in 0..n {
+        if rng.random::<f64>() >= opts.fault_rate {
+            continue;
+        }
+        let victim_dev = rng.random_range(0..n);
+        if victim_dev == v || owned[victim_dev].is_empty() {
+            continue;
+        }
+        let base = owned[victim_dev][0];
+        if (base.len as u32) + 1 > layout.width {
+            continue;
+        }
+        // The lower half of the victim prefix.
+        let spec = Prefix { addr: base.addr | (1 << (layout.width - base.len as u32 - 1)), len: base.len + 1 };
+        let node = NodeId(v as u32);
+        let out = net.graph.out_edges(node);
+        let action = if out.is_empty() || rng.random::<f64>() < 0.5 {
+            Action::Drop
+        } else {
+            Action::Forward(out[rng.random_range(0..out.len())])
+        };
+        net.devices[v].insert(Rule { prefix: spec, priority: spec.len as u32, action });
+    }
+
+    FibDataset { network: net, owned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrepro_graph::gen::{ring, waxman, TopologySpec};
+
+    fn small() -> FibDataset {
+        generate(ring(5, 1.0), HeaderLayout::new(12), &DatasetOpts::default())
+    }
+
+    #[test]
+    fn every_device_owns_prefixes() {
+        let ds = small();
+        assert_eq!(ds.owned.len(), 5);
+        for o in &ds.owned {
+            assert_eq!(o.len(), 1);
+        }
+    }
+
+    #[test]
+    fn owned_prefixes_are_disjoint() {
+        let ds = small();
+        let all: Vec<Prefix> = ds.owned.iter().flatten().copied().collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert!(!a.covers(b, 12) && !b.covers(a, 12), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn each_device_routes_to_every_prefix() {
+        let ds = small();
+        // 5 devices × 5 prefixes = 25 rules (deliver or forward each).
+        assert_eq!(ds.network.num_rules(), 25);
+    }
+
+    #[test]
+    fn owner_delivers_its_prefix() {
+        let ds = small();
+        for d in 0..5 {
+            let p = ds.owned[d][0];
+            let dev = &ds.network.devices[d];
+            let action = dev.action_for(p.addr, 12);
+            assert_eq!(action, Action::Deliver);
+        }
+    }
+
+    #[test]
+    fn faults_add_more_specific_rules() {
+        let g = waxman(&TopologySpec::new("t", 12, 3));
+        let clean = generate(g.clone(), HeaderLayout::new(16), &DatasetOpts::default());
+        let faulty = generate(
+            g,
+            HeaderLayout::new(16),
+            &DatasetOpts { fault_rate: 1.0, seed: 3, ..Default::default() },
+        );
+        assert!(faulty.network.num_rules() > clean.network.num_rules());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            generate(
+                ring(6, 1.0),
+                HeaderLayout::new(12),
+                &DatasetOpts { fault_rate: 0.5, seed: 11, ..Default::default() },
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.network.num_rules(), b.network.num_rules());
+    }
+
+    #[test]
+    fn multiple_prefixes_per_device() {
+        let ds = generate(
+            ring(4, 1.0),
+            HeaderLayout::new(12),
+            &DatasetOpts { prefixes_per_device: 3, ..Default::default() },
+        );
+        for o in &ds.owned {
+            assert_eq!(o.len(), 3);
+        }
+        assert_eq!(ds.network.num_rules(), 4 * 12);
+    }
+}

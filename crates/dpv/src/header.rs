@@ -1,0 +1,180 @@
+//! Header-space encoding: destination-prefix matching over a fixed-width
+//! header, compiled to BDDs.
+//!
+//! Both AP and APKeep verify forwarding (destination-IP) behaviour, so
+//! the header is a single `width`-bit destination address field. The
+//! layout is configurable because the benchmark datasets use narrower
+//! addresses than IPv4 to keep test instances readable.
+
+use netrepro_bdd::{BddManager, Ref};
+
+/// An address prefix `addr/len` over a [`HeaderLayout`]'s width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix {
+    /// Address bits, left-aligned within the layout width.
+    pub addr: u32,
+    /// Prefix length in bits.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// The all-matching prefix.
+    pub const ANY: Prefix = Prefix { addr: 0, len: 0 };
+
+    /// Does this prefix contain address `a` (over `width` bits)?
+    pub fn contains(&self, a: u32, width: u32) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let shift = width - self.len as u32;
+        (a >> shift) == (self.addr >> shift)
+    }
+
+    /// Is `self` a (non-strict) superset of `other`?
+    pub fn covers(&self, other: &Prefix, width: u32) -> bool {
+        self.len <= other.len && other.contains_prefix_addr(self, width)
+    }
+
+    fn contains_prefix_addr(&self, sup: &Prefix, width: u32) -> bool {
+        if sup.len == 0 {
+            return true;
+        }
+        let shift = width - sup.len as u32;
+        (self.addr >> shift) == (sup.addr >> shift)
+    }
+}
+
+/// The header layout. The destination field (`width` bits at offset 0)
+/// drives forwarding; optional source-address and destination-port
+/// fields exist for ACL matching (zero-width when unused, so the
+/// forwarding-only layouts stay exactly as small as before).
+#[derive(Debug, Clone, Copy)]
+pub struct HeaderLayout {
+    /// Destination-address field width in bits (≤ 32), at offset 0.
+    pub width: u32,
+    /// Source-address field width (0 = absent), after the destination.
+    pub src_width: u32,
+    /// Destination-port field width (0 = absent), after the source.
+    pub port_width: u32,
+}
+
+impl HeaderLayout {
+    /// A forwarding-only layout with the given destination width.
+    pub fn new(width: u32) -> Self {
+        assert!(width >= 1 && width <= 32);
+        HeaderLayout { width, src_width: 0, port_width: 0 }
+    }
+
+    /// A layout with ACL fields: destination + source addresses and a
+    /// destination port.
+    pub fn with_acl_fields(width: u32, src_width: u32, port_width: u32) -> Self {
+        assert!(width >= 1 && width <= 32 && src_width <= 32 && port_width <= 16);
+        HeaderLayout { width, src_width, port_width }
+    }
+
+    /// The IPv4-sized forwarding-only layout.
+    pub fn ipv4() -> Self {
+        HeaderLayout::new(32)
+    }
+
+    /// Total header bits.
+    pub fn total_bits(&self) -> u32 {
+        self.width + self.src_width + self.port_width
+    }
+
+    /// Bit offset of the source field.
+    pub fn src_base(&self) -> u32 {
+        self.width
+    }
+
+    /// Bit offset of the destination-port field.
+    pub fn port_base(&self) -> u32 {
+        self.width + self.src_width
+    }
+
+    /// A fresh manager sized for this layout.
+    pub fn manager(&self, profile: netrepro_bdd::EngineProfile) -> BddManager {
+        BddManager::new(self.total_bits(), profile)
+    }
+
+    /// BDD predicate for a destination `prefix`.
+    pub fn prefix_pred(&self, m: &mut BddManager, prefix: Prefix) -> Ref {
+        assert!(prefix.len as u32 <= self.width);
+        m.field_prefix(0, self.width, prefix.addr as u64, prefix.len as u32)
+    }
+
+    /// BDD predicate for a source-address prefix. Panics when the
+    /// layout has no source field.
+    pub fn src_prefix_pred(&self, m: &mut BddManager, prefix: Prefix) -> Ref {
+        assert!(self.src_width > 0, "layout has no source field");
+        assert!(prefix.len as u32 <= self.src_width);
+        m.field_prefix(self.src_base(), self.src_width, prefix.addr as u64, prefix.len as u32)
+    }
+
+    /// BDD predicate for an inclusive destination-port range. Panics
+    /// when the layout has no port field.
+    pub fn port_range_pred(&self, m: &mut BddManager, lo: u16, hi: u16) -> Ref {
+        assert!(self.port_width > 0, "layout has no port field");
+        assert!(u32::from(hi) < (1u32 << self.port_width));
+        m.field_range(self.port_base(), self.port_width, lo as u64, hi as u64)
+    }
+
+    /// BDD predicate for the exact destination address `a`.
+    pub fn addr_pred(&self, m: &mut BddManager, a: u32) -> Ref {
+        m.field_eq(0, self.width, a as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrepro_bdd::EngineProfile;
+
+    #[test]
+    fn prefix_contains_addresses() {
+        let p = Prefix { addr: 0b1010_0000, len: 4 };
+        assert!(p.contains(0b1010_1111, 8));
+        assert!(!p.contains(0b1011_0000, 8));
+        assert!(Prefix::ANY.contains(123, 8));
+    }
+
+    #[test]
+    fn covers_is_prefix_order() {
+        let w = 8;
+        let p4 = Prefix { addr: 0b1010_0000, len: 4 };
+        let p6 = Prefix { addr: 0b1010_1000, len: 6 };
+        assert!(p4.covers(&p6, w));
+        assert!(!p6.covers(&p4, w));
+        assert!(Prefix::ANY.covers(&p4, w));
+        assert!(p4.covers(&p4, w));
+    }
+
+    #[test]
+    fn prefix_pred_counts() {
+        let layout = HeaderLayout::new(8);
+        let mut m = layout.manager(EngineProfile::Cached);
+        let p = layout.prefix_pred(&mut m, Prefix { addr: 0b1100_0000, len: 2 });
+        assert_eq!(m.sat_count(p), 64.0);
+    }
+
+    #[test]
+    fn pred_agrees_with_contains() {
+        let layout = HeaderLayout::new(6);
+        let mut m = layout.manager(EngineProfile::Cached);
+        let p = Prefix { addr: 0b1010_00, len: 3 };
+        let pred = layout.prefix_pred(&mut m, p);
+        for a in 0u32..64 {
+            let bits: Vec<bool> = (0..6).map(|i| (a >> (5 - i)) & 1 == 1).collect();
+            assert_eq!(m.eval(pred, &bits), p.contains(a, 6), "addr {a}");
+        }
+    }
+
+    #[test]
+    fn disjoint_prefixes_have_empty_intersection() {
+        let layout = HeaderLayout::new(8);
+        let mut m = layout.manager(EngineProfile::Cached);
+        let a = layout.prefix_pred(&mut m, Prefix { addr: 0b0000_0000, len: 1 });
+        let b = layout.prefix_pred(&mut m, Prefix { addr: 0b1000_0000, len: 1 });
+        assert_eq!(m.and(a, b), netrepro_bdd::FALSE);
+    }
+}

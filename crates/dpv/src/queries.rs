@@ -1,0 +1,222 @@
+//! Higher-level verification queries over a compiled [`ApVerifier`]:
+//! the all-pairs reachability matrix and slice-isolation checks — the
+//! operator-facing questions the AP paper's evaluation answers
+//! ("loop-free, blackhole-free reachability" across every pair).
+
+use crate::ap::{ApVerifier, AtomSet};
+use crate::reach::selective_bfs;
+use netrepro_graph::NodeId;
+
+/// The all-pairs delivery matrix: `delivered[s][d]` is the atom set
+/// injected at `s` that gets delivered at `d`.
+#[derive(Debug)]
+pub struct ReachMatrix {
+    n: usize,
+    delivered: Vec<AtomSet>,
+}
+
+impl ReachMatrix {
+    /// Compute the matrix with one selective-BFS sweep per source.
+    pub fn compute(v: &ApVerifier) -> ReachMatrix {
+        let n = v.tables.len();
+        let mut delivered = Vec::with_capacity(n * n);
+        for s in 0..n {
+            for d in 0..n {
+                // The diagonal is meaningful: a packet injected at its
+                // own device's prefix delivers right there.
+                delivered.push(selective_bfs(v, NodeId(s as u32), NodeId(d as u32)).delivered);
+            }
+        }
+        ReachMatrix { n, delivered }
+    }
+
+    /// Delivered atoms from `s` to `d`.
+    pub fn get(&self, s: NodeId, d: NodeId) -> &AtomSet {
+        &self.delivered[s.index() * self.n + d.index()]
+    }
+
+    /// Number of ordered pairs with any delivery.
+    pub fn connected_pairs(&self) -> usize {
+        self.delivered.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Pairs `(s, d)` with no delivery at all (s ≠ d).
+    pub fn unreachable_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s != d && self.get(NodeId(s as u32), NodeId(d as u32)).is_empty() {
+                    out.push((NodeId(s as u32), NodeId(d as u32)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A slice-isolation violation: traffic from a device in slice `a`
+/// reaches a device in slice `b`.
+#[derive(Debug, Clone)]
+pub struct IsolationViolation {
+    /// Source device (in the first slice).
+    pub src: NodeId,
+    /// Destination device (in the second slice).
+    pub dst: NodeId,
+    /// The leaking atoms.
+    pub atoms: AtomSet,
+}
+
+/// Check that two device sets are mutually isolated: nothing injected
+/// at a device of `slice_a` may be delivered at a device of `slice_b`,
+/// and vice versa. Returns every violation.
+pub fn check_isolation(
+    v: &ApVerifier,
+    slice_a: &[NodeId],
+    slice_b: &[NodeId],
+) -> Vec<IsolationViolation> {
+    let mut out = Vec::new();
+    for (from, to) in [(slice_a, slice_b), (slice_b, slice_a)] {
+        for &s in from {
+            for &d in to {
+                if s == d {
+                    continue;
+                }
+                let r = selective_bfs(v, s, d);
+                if !r.delivered.is_empty() {
+                    out.push(IsolationViolation { src: s, dst: d, atoms: r.delivered });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate, DatasetOpts};
+    use crate::header::HeaderLayout;
+    use crate::network::{Action, Network, Rule};
+    use crate::Prefix;
+    use netrepro_bdd::EngineProfile;
+    use netrepro_graph::gen::ring;
+    use netrepro_graph::DiGraph;
+
+    #[test]
+    fn clean_ring_is_fully_connected() {
+        let ds = generate(ring(5, 1.0), HeaderLayout::new(12), &DatasetOpts::default());
+        let v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        let m = ReachMatrix::compute(&v);
+        // All ordered pairs including the diagonal (self-delivery of the
+        // locally owned prefix).
+        assert_eq!(m.connected_pairs(), 5 * 5);
+        assert!(m.unreachable_pairs().is_empty());
+    }
+
+    #[test]
+    fn matrix_matches_single_queries() {
+        let ds = generate(ring(4, 1.0), HeaderLayout::new(12), &DatasetOpts::default());
+        let v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        let m = ReachMatrix::compute(&v);
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                if s == d {
+                    continue;
+                }
+                let single = selective_bfs(&v, NodeId(s), NodeId(d)).delivered;
+                assert_eq!(m.get(NodeId(s), NodeId(d)), &single);
+            }
+        }
+    }
+
+    /// Two pairs of devices with no routes between the pairs: isolated.
+    fn two_islands() -> Network {
+        let mut g = DiGraph::new();
+        let a0 = g.add_node("a0");
+        let a1 = g.add_node("a1");
+        let b0 = g.add_node("b0");
+        let b1 = g.add_node("b1");
+        let (a01, a10) = g.add_bidi(a0, a1, 1.0, 1.0);
+        let (b01, b10) = g.add_bidi(b0, b1, 1.0, 1.0);
+        // Physical links exist across islands, but no routes use them.
+        g.add_bidi(a1, b0, 1.0, 1.0);
+        let mut net = Network::new(g, HeaderLayout::new(8));
+        let pa = Prefix { addr: 0b0000_0000, len: 2 };
+        let pb = Prefix { addr: 0b0100_0000, len: 2 };
+        net.device_mut(a0).insert(Rule { prefix: pa, priority: 2, action: Action::Deliver });
+        net.device_mut(a1).insert(Rule { prefix: pa, priority: 2, action: Action::Forward(a10) });
+        net.device_mut(a1).insert(Rule {
+            prefix: Prefix { addr: 0b0010_0000, len: 3 },
+            priority: 3,
+            action: Action::Deliver,
+        });
+        net.device_mut(a0).insert(Rule {
+            prefix: Prefix { addr: 0b0010_0000, len: 3 },
+            priority: 3,
+            action: Action::Forward(a01),
+        });
+        net.device_mut(b0).insert(Rule { prefix: pb, priority: 2, action: Action::Deliver });
+        net.device_mut(b1).insert(Rule { prefix: pb, priority: 2, action: Action::Forward(b10) });
+        net.device_mut(b1).insert(Rule {
+            prefix: Prefix { addr: 0b0110_0000, len: 3 },
+            priority: 3,
+            action: Action::Deliver,
+        });
+        net.device_mut(b0).insert(Rule {
+            prefix: Prefix { addr: 0b0110_0000, len: 3 },
+            priority: 3,
+            action: Action::Forward(b01),
+        });
+        net
+    }
+
+    #[test]
+    fn islands_are_isolated() {
+        let net = two_islands();
+        let v = ApVerifier::build(&net, EngineProfile::Cached);
+        let a = [NodeId(0), NodeId(1)];
+        let b = [NodeId(2), NodeId(3)];
+        assert!(check_isolation(&v, &a, &b).is_empty());
+    }
+
+    #[test]
+    fn leaking_route_breaks_isolation() {
+        let mut net = two_islands();
+        // a1 grows a route toward b0's prefix over the physical cross link.
+        let cross = net.graph.find_edge(NodeId(1), NodeId(2)).unwrap();
+        net.device_mut(NodeId(1)).insert(Rule {
+            prefix: Prefix { addr: 0b0100_0000, len: 2 },
+            priority: 2,
+            action: Action::Forward(cross),
+        });
+        let v = ApVerifier::build(&net, EngineProfile::Cached);
+        let a = [NodeId(0), NodeId(1)];
+        let b = [NodeId(2), NodeId(3)];
+        let violations = check_isolation(&v, &a, &b);
+        assert!(!violations.is_empty(), "the leaked route must be detected");
+        // Every leak flows a -> b (the sub-prefix 0110/3 travels one hop
+        // further and also delivers at b1, so both b devices may appear).
+        assert!(violations
+            .iter()
+            .all(|x| x.src.index() < 2 && x.dst.index() >= 2));
+    }
+
+    #[test]
+    fn isolation_is_direction_sensitive() {
+        let mut net = two_islands();
+        let cross = net.graph.find_edge(NodeId(1), NodeId(2)).unwrap();
+        net.device_mut(NodeId(1)).insert(Rule {
+            prefix: Prefix { addr: 0b0100_0000, len: 2 },
+            priority: 2,
+            action: Action::Forward(cross),
+        });
+        let v = ApVerifier::build(&net, EngineProfile::Cached);
+        // Only a -> b leaks; b -> a must stay clean.
+        let violations = check_isolation(&v, &[NodeId(2), NodeId(3)], &[NodeId(0), NodeId(1)]);
+        let b_to_a: Vec<_> = violations
+            .iter()
+            .filter(|x| x.src.index() >= 2 && x.dst.index() < 2)
+            .collect();
+        assert!(b_to_a.is_empty());
+    }
+}

@@ -1,0 +1,428 @@
+//! Reachability verification — two ways.
+//!
+//! The AP paper describes, for a *given* path, how to compute the
+//! predicates reaching `d` from `s`, but (as the HotNets paper's
+//! participant D discovered) omits how its prototype finds all
+//! predicates over *any* path: a selective BFS traversal. Participant D
+//! instead enumerated paths, which is exponential. Both strategies live
+//! here so Table D can measure the gap:
+//!
+//! * [`selective_bfs`] — the open-source prototype's approach: a
+//!   monotone fixpoint over per-device reached atom sets, O(V·E)
+//!   atom-set operations.
+//! * [`path_enumeration`] — participant D's approach: DFS over simple
+//!   paths, intersecting BDD predicates edge by edge, with a safety cap.
+
+use crate::ap::{ApVerifier, AtomSet};
+use crate::network::Action;
+use netrepro_bdd::{Ref, FALSE};
+use netrepro_graph::NodeId;
+
+/// Result of a reachability query.
+#[derive(Debug, Clone)]
+pub struct ReachResult {
+    /// Atoms that, injected at the source, arrive at the destination.
+    pub arrived: AtomSet,
+    /// Atoms that additionally get *delivered* at the destination.
+    pub delivered: AtomSet,
+}
+
+/// Selective BFS: propagate reached atom sets along forwarding edges to
+/// a fixpoint, then read off what arrives at `dst`.
+pub fn selective_bfs(v: &ApVerifier, src: NodeId, dst: NodeId) -> ReachResult {
+    let n = v.tables.len();
+    let universe = v.num_atoms();
+    let mut reached: Vec<AtomSet> = (0..n).map(|_| AtomSet::empty(universe)).collect();
+    reached[src.index()] = AtomSet::full(universe);
+    let mut work = vec![src];
+    while let Some(u) = work.pop() {
+        let here = reached[u.index()].clone();
+        for (action, set) in &v.tables[u.index()] {
+            if let Action::Forward(e) = action {
+                let out = here.intersect(set);
+                if out.is_empty() {
+                    continue;
+                }
+                // Forwarding cannot deliver to self-loops; the topology
+                // edge tells us the next device.
+                let next = edge_dst(v, *e);
+                if reached[next.index()].union_in_place(&out) && next != src {
+                    work.push(next);
+                }
+            }
+        }
+    }
+    let arrived = reached[dst.index()].clone();
+    let delivered = arrived.intersect(&v.deliver_set(dst));
+    ReachResult { arrived, delivered }
+}
+
+fn edge_dst(v: &ApVerifier, e: netrepro_graph::EdgeId) -> NodeId {
+    v.graph_endpoints(e).1
+}
+
+impl ApVerifier {
+    /// Endpoints of a topology edge (helper for the traversals).
+    pub fn graph_endpoints(&self, e: netrepro_graph::EdgeId) -> (NodeId, NodeId) {
+        // The tables were built from the same graph, so edge ids align.
+        self.edge_endpoints[e.index()]
+    }
+}
+
+/// Outcome of the path-enumeration strategy.
+#[derive(Debug, Clone)]
+pub struct EnumResult {
+    /// BDD of headers delivered at the destination over the explored paths.
+    pub delivered: Ref,
+    /// Simple paths explored.
+    pub paths_explored: u64,
+    /// Whether the exploration hit the path cap (result then a lower
+    /// bound — exactly the failure mode of participant D's version).
+    pub truncated: bool,
+}
+
+/// Path enumeration, as participant D built it from the paper (§3.2):
+/// the paper gives an algorithm that, *for a given path*, computes the
+/// predicates reaching `d` from `s`; it does not describe how the
+/// prototype searches paths (a selective BFS). D therefore enumerated
+/// every simple topological path and ran the per-path algorithm on each
+/// — exponential in the path count, because the search does **not**
+/// prune by intermediate predicate emptiness.
+///
+/// `max_paths` caps the number of complete paths processed (participant
+/// D's runs, too, only finished because the datasets were finite); when
+/// the cap fires, `truncated` is set and the result is a lower bound.
+pub fn path_enumeration(
+    v: &mut ApVerifier,
+    src: NodeId,
+    dst: NodeId,
+    max_paths: u64,
+) -> EnumResult {
+    struct Dfs<'a> {
+        v: &'a mut ApVerifier,
+        dst: NodeId,
+        max_paths: u64,
+        paths: u64,
+        truncated: bool,
+        delivered: Ref,
+        on_path: Vec<bool>,
+        path_edges: Vec<netrepro_graph::EdgeId>,
+    }
+    impl Dfs<'_> {
+        /// The paper's given-path algorithm: intersect the port
+        /// predicates along the path, then the deliver predicate at the
+        /// destination.
+        fn check_path(&mut self) {
+            let mut pred = netrepro_bdd::TRUE;
+            self.v.manager.ref_inc(pred);
+            for i in 0..self.path_edges.len() {
+                let e = self.path_edges[i];
+                let (hop_src, _) = self.v.graph_endpoints(e);
+                let set = self
+                    .v
+                    .tables[hop_src.index()]
+                    .iter()
+                    .find_map(|(a, s)| match a {
+                        Action::Forward(pe) if *pe == e => Some(s.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| AtomSet::empty(self.v.num_atoms()));
+                let port_bdd = self.v.atoms.to_bdd(&mut self.v.manager, &set);
+                let next = self.v.manager.and(pred, port_bdd);
+                self.v.manager.ref_inc(next);
+                self.v.manager.ref_dec(pred);
+                pred = next;
+                if pred == FALSE {
+                    break;
+                }
+            }
+            if pred != FALSE {
+                let deliver = self
+                    .v
+                    .tables[self.dst.index()]
+                    .iter()
+                    .find(|(a, _)| *a == Action::Deliver)
+                    .map(|(_, s)| s.clone());
+                if let Some(s) = deliver {
+                    let dp = self.v.atoms.to_bdd(&mut self.v.manager, &s);
+                    let got = self.v.manager.and(pred, dp);
+                    let nd = self.v.manager.or(self.delivered, got);
+                    self.v.manager.ref_inc(nd);
+                    if !self.delivered.is_terminal() {
+                        self.v.manager.ref_dec(self.delivered);
+                    }
+                    self.delivered = nd;
+                }
+            }
+            self.v.manager.ref_dec(pred);
+        }
+
+        fn go(&mut self, u: NodeId) {
+            if self.paths >= self.max_paths {
+                self.truncated = true;
+                return;
+            }
+            if u == self.dst {
+                self.paths += 1;
+                self.check_path();
+                return;
+            }
+            self.on_path[u.index()] = true;
+            // Follow the forwarding adjacency (every port some rule
+            // forwards to), with NO pruning by the predicate collected
+            // so far — that is exactly the mistake the missing detail
+            // caused.
+            let hops: Vec<netrepro_graph::EdgeId> = self.v.tables[u.index()]
+                .iter()
+                .filter_map(|(a, s)| match a {
+                    Action::Forward(e) if !s.is_empty() => Some(*e),
+                    _ => None,
+                })
+                .collect();
+            for e in hops {
+                let next = self.v.graph_endpoints(e).1;
+                if self.on_path[next.index()] {
+                    continue; // simple paths only
+                }
+                self.path_edges.push(e);
+                self.go(next);
+                self.path_edges.pop();
+            }
+            self.on_path[u.index()] = false;
+        }
+    }
+
+    let n = v.tables.len();
+    let mut dfs = Dfs {
+        v,
+        dst,
+        max_paths,
+        paths: 0,
+        truncated: false,
+        delivered: FALSE,
+        on_path: vec![false; n],
+        path_edges: Vec::new(),
+    };
+    dfs.go(src);
+    EnumResult {
+        delivered: dfs.delivered,
+        paths_explored: dfs.paths,
+        truncated: dfs.truncated,
+    }
+}
+
+/// A forwarding loop witness: the repeated device and the atoms caught
+/// in the cycle.
+#[derive(Debug, Clone)]
+pub struct LoopWitness {
+    /// The device the packet revisits.
+    pub device: NodeId,
+    /// Atoms that traverse the cycle.
+    pub atoms: AtomSet,
+}
+
+/// Detect forwarding loops: DFS from every device tracking the atom set
+/// alive on the current path; a non-empty revisit is a loop. Returns at
+/// most `cap` distinct witnesses.
+pub fn find_loops(v: &ApVerifier, cap: usize) -> Vec<LoopWitness> {
+    let n = v.tables.len();
+    let universe = v.num_atoms();
+    let mut out: Vec<LoopWitness> = Vec::new();
+    for start in 0..n {
+        if out.len() >= cap {
+            break;
+        }
+        let mut on_path = vec![false; n];
+        dfs_loops(v, NodeId(start as u32), NodeId(start as u32), &AtomSet::full(universe), &mut on_path, &mut out, cap, 0);
+    }
+    // Deduplicate by device.
+    out.sort_by_key(|w| w.device);
+    out.dedup_by_key(|w| w.device);
+    out.truncate(cap);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_loops(
+    v: &ApVerifier,
+    start: NodeId,
+    u: NodeId,
+    alive: &AtomSet,
+    on_path: &mut [bool],
+    out: &mut Vec<LoopWitness>,
+    cap: usize,
+    depth: usize,
+) {
+    if out.len() >= cap || depth > v.tables.len() {
+        return;
+    }
+    on_path[u.index()] = true;
+    for (action, set) in &v.tables[u.index()] {
+        if let Action::Forward(e) = action {
+            let next = v.graph_endpoints(*e).1;
+            let surviving = alive.intersect(set);
+            if surviving.is_empty() {
+                continue;
+            }
+            if next == start {
+                out.push(LoopWitness { device: start, atoms: surviving });
+                if out.len() >= cap {
+                    break;
+                }
+                continue;
+            }
+            if !on_path[next.index()] {
+                dfs_loops(v, start, next, &surviving, on_path, out, cap, depth + 1);
+            }
+        }
+    }
+    on_path[u.index()] = false;
+}
+
+/// Blackhole report: atoms injected at `src` that arrive at some device
+/// and are dropped there (explicitly or by the default residue).
+pub fn blackholes(v: &ApVerifier, src: NodeId) -> Vec<(NodeId, AtomSet)> {
+    let n = v.tables.len();
+    let universe = v.num_atoms();
+    let mut reached: Vec<AtomSet> = (0..n).map(|_| AtomSet::empty(universe)).collect();
+    reached[src.index()] = AtomSet::full(universe);
+    let mut work = vec![src];
+    while let Some(u) = work.pop() {
+        let here = reached[u.index()].clone();
+        for (action, set) in &v.tables[u.index()] {
+            if let Action::Forward(e) = action {
+                let out = here.intersect(set);
+                if out.is_empty() {
+                    continue;
+                }
+                let next = v.graph_endpoints(*e).1;
+                if reached[next.index()].union_in_place(&out) && next != src {
+                    work.push(next);
+                }
+            }
+        }
+    }
+    let mut result = Vec::new();
+    for u in 0..n {
+        let dropped = reached[u].intersect(&v.drop_set(NodeId(u as u32)));
+        if !dropped.is_empty() {
+            result.push((NodeId(u as u32), dropped));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ap::ApVerifier;
+    use crate::dataset::{generate, DatasetOpts};
+    use crate::header::HeaderLayout;
+    use crate::network::{Network, Rule};
+    use crate::Prefix;
+    use netrepro_bdd::EngineProfile;
+    use netrepro_graph::gen::ring;
+    use netrepro_graph::DiGraph;
+
+    fn ring_ds(n: usize) -> crate::dataset::FibDataset {
+        generate(ring(n, 1.0), HeaderLayout::new(12), &DatasetOpts::default())
+    }
+
+    #[test]
+    fn bfs_finds_owned_prefix_reachability() {
+        let ds = ring_ds(5);
+        let v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        for s in 0..5u32 {
+            for d in 0..5u32 {
+                if s == d {
+                    continue;
+                }
+                let r = selective_bfs(&v, NodeId(s), NodeId(d));
+                assert!(
+                    !r.delivered.is_empty(),
+                    "expected {s}->{d} to deliver d's prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_and_enumeration_agree_on_small_net() {
+        let ds = ring_ds(5);
+        let mut v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        for (s, d) in [(0u32, 2u32), (1, 4), (3, 0)] {
+            let bfs = selective_bfs(&v, NodeId(s), NodeId(d));
+            let bfs_bdd = v.atoms.to_bdd(&mut v.manager, &bfs.delivered);
+            let en = path_enumeration(&mut v, NodeId(s), NodeId(d), 1_000_000);
+            assert!(!en.truncated);
+            assert_eq!(
+                bfs_bdd, en.delivered,
+                "strategies disagree on {s}->{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_enumeration_is_lower_bound() {
+        let ds = ring_ds(6);
+        let mut v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        let full = path_enumeration(&mut v, NodeId(0), NodeId(3), 1_000_000);
+        let capped = path_enumeration(&mut v, NodeId(0), NodeId(3), 1);
+        assert!(capped.truncated || capped.paths_explored <= 1);
+        // The capped result must imply the full one.
+        assert!(v.manager.implies(capped.delivered, full.delivered));
+    }
+
+    #[test]
+    fn clean_dataset_has_no_loops() {
+        let ds = ring_ds(6);
+        let v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        assert!(find_loops(&v, 10).is_empty());
+    }
+
+    #[test]
+    fn injected_loop_is_detected() {
+        // Two devices forwarding a prefix at each other.
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let (ab, ba) = g.add_bidi(a, b, 1.0, 1.0);
+        let mut net = Network::new(g, HeaderLayout::new(8));
+        let p = Prefix { addr: 0b1000_0000, len: 1 };
+        net.device_mut(a).insert(Rule { prefix: p, priority: 1, action: Action::Forward(ab) });
+        net.device_mut(b).insert(Rule { prefix: p, priority: 1, action: Action::Forward(ba) });
+        let v = ApVerifier::build(&net, EngineProfile::Cached);
+        let loops = find_loops(&v, 10);
+        assert!(!loops.is_empty(), "ping-pong loop not found");
+    }
+
+    #[test]
+    fn blackholes_on_clean_ring_are_residue_only() {
+        let ds = ring_ds(4);
+        let v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        // Only the unowned residue of the address space may blackhole at
+        // the source itself; owned prefixes must not appear.
+        let bh = blackholes(&v, NodeId(0));
+        for (dev, atoms) in bh {
+            let deliver = v.deliver_set(dev);
+            assert!(atoms.intersect(&deliver).is_empty());
+        }
+    }
+
+    #[test]
+    fn explicit_drop_creates_blackhole() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let (ab, _) = g.add_bidi(a, b, 1.0, 1.0);
+        let mut net = Network::new(g, HeaderLayout::new(8));
+        let p = Prefix { addr: 0b1000_0000, len: 1 };
+        // a forwards p to b; b drops everything (no rules).
+        net.device_mut(a).insert(Rule { prefix: p, priority: 1, action: Action::Forward(ab) });
+        let v = ApVerifier::build(&net, EngineProfile::Cached);
+        let bh = blackholes(&v, a);
+        let at_b: Vec<_> = bh.iter().filter(|(d, _)| *d == b).collect();
+        assert_eq!(at_b.len(), 1);
+        assert!(!at_b[0].1.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! APKeep link up/down events: topology changes must flow through the
+//! PPM and the dynamic atoms exactly like rule changes do.
+
+use netrepro_bdd::EngineProfile;
+use netrepro_dpv::apkeep::ApKeep;
+use netrepro_dpv::dataset::{generate, DatasetOpts};
+use netrepro_dpv::header::HeaderLayout;
+use netrepro_dpv::network::Action;
+use netrepro_dpv::reach::selective_bfs;
+use netrepro_graph::gen::ring;
+use netrepro_graph::NodeId;
+
+fn loaded_apkeep() -> (ApKeep, netrepro_dpv::dataset::FibDataset) {
+    let ds = generate(ring(5, 1.0), HeaderLayout::new(12), &DatasetOpts::default());
+    let mut k = ApKeep::new(&ds.network, EngineProfile::Cached);
+    for v in ds.network.graph.nodes() {
+        for r in &ds.network.device(v).rules {
+            k.insert(v, *r);
+        }
+    }
+    (k, ds)
+}
+
+#[test]
+fn link_down_moves_traffic_to_drop() {
+    let (mut k, ds) = loaded_apkeep();
+    let e = ds.network.graph.out_edges(NodeId(0))[0];
+    let before = k.manager.sat_count(k.ppm_pred(NodeId(0), Action::Forward(e)));
+    assert!(before > 0.0);
+    assert_eq!(k.link_down(e), 1);
+    assert_eq!(k.manager.sat_count(k.ppm_pred(NodeId(0), Action::Forward(e))), 0.0);
+    let invariant = k.atoms.check_invariants(&mut k.manager);
+    assert!(invariant.is_ok(), "{invariant:?}");
+}
+
+#[test]
+fn link_up_restores_exactly() {
+    let (mut k, ds) = loaded_apkeep();
+    let e = ds.network.graph.out_edges(NodeId(0))[0];
+    let before = k.ppm_pred(NodeId(0), Action::Forward(e));
+    let atoms_before = k.num_atomic_predicates();
+    k.link_down(e);
+    k.link_up(e);
+    assert_eq!(k.ppm_pred(NodeId(0), Action::Forward(e)), before);
+    assert_eq!(k.num_atomic_predicates(), atoms_before);
+    assert_eq!(k.num_atomic_predicates(), k.recount_atomic_predicates());
+}
+
+#[test]
+fn link_events_are_idempotent() {
+    let (mut k, ds) = loaded_apkeep();
+    let e = ds.network.graph.out_edges(NodeId(1))[0];
+    assert_eq!(k.link_down(e), 1);
+    assert_eq!(k.link_down(e), 0);
+    assert!(k.is_down(e));
+    assert_eq!(k.link_up(e), 1);
+    assert_eq!(k.link_up(e), 0);
+    assert!(!k.is_down(e));
+}
+
+#[test]
+fn insert_while_down_lands_in_drop() {
+    let (mut k, ds) = loaded_apkeep();
+    // Take down every out-edge of device 3, then insert a fresh rule
+    // forwarding out of one of them: the PPM must show it as dropped.
+    let dev = NodeId(3);
+    let e = ds.network.graph.out_edges(dev)[0];
+    k.link_down(e);
+    let fresh = netrepro_dpv::network::Rule {
+        prefix: netrepro_dpv::Prefix { addr: 0xF00, len: 12 },
+        priority: 12,
+        action: Action::Forward(e),
+    };
+    k.insert(dev, fresh);
+    assert_eq!(
+        k.manager.sat_count(k.ppm_pred(dev, Action::Forward(e))),
+        0.0,
+        "space routed to a downed port must read as Drop"
+    );
+    // Bringing the link back exposes the rule.
+    k.link_up(e);
+    assert!(k.manager.sat_count(k.ppm_pred(dev, Action::Forward(e))) > 0.0);
+    assert_eq!(k.num_atomic_predicates(), k.recount_atomic_predicates());
+}
+
+#[test]
+fn reachability_reflects_failures() {
+    let (mut k, ds) = loaded_apkeep();
+    // Ring: cutting both of node 0's out-edges isolates it as a source.
+    let edges: Vec<_> = ds.network.graph.out_edges(NodeId(0)).to_vec();
+    for e in &edges {
+        k.link_down(*e);
+    }
+    let v = k.snapshot();
+    let r = selective_bfs(&v, NodeId(0), NodeId(2));
+    assert!(r.delivered.is_empty(), "no path may survive total egress failure");
+}

@@ -1,0 +1,206 @@
+//! Bridges and articulation points (Tarjan's low-link method over the
+//! undirected view of the topology).
+//!
+//! ARROW's failure analysis cares exactly about these: cutting a bridge
+//! fiber partitions the WAN and no restoration budget can save the
+//! commodities crossing it, so scenario generators should know where
+//! the bridges are.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+
+/// Bridges and articulation points of the undirected view of `g`.
+#[derive(Debug, Clone)]
+pub struct CutStructure {
+    /// Edges whose removal disconnects their component. For a
+    /// bidirectional fiber the forward (tree) direction is listed.
+    pub bridges: Vec<EdgeId>,
+    /// Nodes whose removal disconnects their component.
+    pub articulation_points: Vec<NodeId>,
+}
+
+struct Dfs<'a> {
+    adj: &'a [Vec<(usize, usize, EdgeId)>],
+    disc: Vec<usize>,
+    low: Vec<usize>,
+    visited: Vec<bool>,
+    is_ap: Vec<bool>,
+    bridges: Vec<EdgeId>,
+    timer: usize,
+}
+
+impl Dfs<'_> {
+    fn run(&mut self, u: usize, parent_fiber: usize) -> usize {
+        self.visited[u] = true;
+        self.disc[u] = self.timer;
+        self.low[u] = self.timer;
+        self.timer += 1;
+        let mut children = 0;
+        for i in 0..self.adj[u].len() {
+            let (v, fiber, eid) = self.adj[u][i];
+            if fiber == parent_fiber {
+                continue; // don't walk back along the arriving fiber
+            }
+            if self.visited[v] {
+                self.low[u] = self.low[u].min(self.disc[v]);
+            } else {
+                children += 1;
+                self.run(v, fiber);
+                self.low[u] = self.low[u].min(self.low[v]);
+                if self.low[v] > self.disc[u] {
+                    self.bridges.push(eid);
+                }
+                if parent_fiber != usize::MAX && self.low[v] >= self.disc[u] {
+                    self.is_ap[u] = true;
+                }
+            }
+        }
+        children
+    }
+}
+
+/// Compute bridges and articulation points. Parallel fibers between the
+/// same pair are (correctly) never bridges; a single bidirectional
+/// fiber (one edge each way) is one undirected edge.
+pub fn cut_structure(g: &DiGraph) -> CutStructure {
+    let n = g.num_nodes();
+    // Undirected adjacency: (neighbour, fiber-id, representative edge).
+    // A forward/backward edge pair between the same endpoints shares a
+    // fiber id; a second parallel fiber gets a fresh id.
+    let mut adj: Vec<Vec<(usize, usize, EdgeId)>> = vec![Vec::new(); n];
+    // Half-open fibers waiting for their reverse direction:
+    // (span, creator-was-forward) -> open fiber ids.
+    let mut open: std::collections::HashMap<(usize, usize, bool), Vec<usize>> = Default::default();
+    let mut fiber_count = 0usize;
+    for e in g.edges() {
+        let (s, d) = g.endpoints(e);
+        let (si, di) = (s.index(), d.index());
+        if si == di {
+            continue; // self-loops are never bridges
+        }
+        let span = (si.min(di), si.max(di));
+        let forward = si < di;
+        // Pair with a half-open fiber created by the *opposite*
+        // direction, else open a new fiber.
+        let fiber = if let Some(f) = open
+            .get_mut(&(span.0, span.1, !forward))
+            .and_then(|v| v.pop())
+        {
+            f
+        } else {
+            fiber_count += 1;
+            let f = fiber_count - 1;
+            open.entry((span.0, span.1, forward)).or_default().push(f);
+            f
+        };
+        adj[si].push((di, fiber, e));
+    }
+
+    let mut dfs = Dfs {
+        adj: &adj,
+        disc: vec![0; n],
+        low: vec![0; n],
+        visited: vec![false; n],
+        is_ap: vec![false; n],
+        bridges: Vec::new(),
+        timer: 1,
+    };
+    for root in 0..n {
+        if !dfs.visited[root] {
+            let children = dfs.run(root, usize::MAX);
+            if children > 1 {
+                dfs.is_ap[root] = true;
+            }
+        }
+    }
+    let articulation_points =
+        (0..n).filter(|&i| dfs.is_ap[i]).map(|i| NodeId(i as u32)).collect();
+    let mut bridges = dfs.bridges;
+    bridges.sort();
+    bridges.dedup();
+    CutStructure { bridges, articulation_points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles joined by a single bidirectional fiber: that fiber
+    /// is a bridge and its endpoints are articulation points.
+    fn barbell() -> (DiGraph, Vec<NodeId>, (EdgeId, EdgeId)) {
+        let mut g = DiGraph::new();
+        let ns = g.add_nodes("n", 6);
+        g.add_bidi(ns[0], ns[1], 1.0, 1.0);
+        g.add_bidi(ns[1], ns[2], 1.0, 1.0);
+        g.add_bidi(ns[2], ns[0], 1.0, 1.0);
+        g.add_bidi(ns[3], ns[4], 1.0, 1.0);
+        g.add_bidi(ns[4], ns[5], 1.0, 1.0);
+        g.add_bidi(ns[5], ns[3], 1.0, 1.0);
+        let bridge = g.add_bidi(ns[2], ns[3], 1.0, 1.0);
+        (g, ns, bridge)
+    }
+
+    #[test]
+    fn barbell_bridge_found() {
+        let (g, ns, (fwd, rev)) = barbell();
+        let cs = cut_structure(&g);
+        assert_eq!(cs.bridges.len(), 1);
+        assert!(cs.bridges[0] == fwd || cs.bridges[0] == rev);
+        let mut aps = cs.articulation_points.clone();
+        aps.sort();
+        assert_eq!(aps, vec![ns[2], ns[3]]);
+    }
+
+    #[test]
+    fn ring_has_no_bridges() {
+        let g = crate::gen::ring(6, 1.0);
+        let cs = cut_structure(&g);
+        assert!(cs.bridges.is_empty());
+        assert!(cs.articulation_points.is_empty());
+    }
+
+    #[test]
+    fn path_is_all_bridges() {
+        let mut g = DiGraph::new();
+        let ns = g.add_nodes("n", 4);
+        for w in ns.windows(2) {
+            g.add_bidi(w[0], w[1], 1.0, 1.0);
+        }
+        let cs = cut_structure(&g);
+        assert_eq!(cs.bridges.len(), 3);
+        let mut aps = cs.articulation_points.clone();
+        aps.sort();
+        assert_eq!(aps, vec![ns[1], ns[2]]);
+    }
+
+    #[test]
+    fn parallel_fibers_are_not_bridges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_bidi(a, b, 1.0, 1.0);
+        g.add_bidi(a, b, 1.0, 1.0); // second fiber on the same span
+        let cs = cut_structure(&g);
+        assert!(cs.bridges.is_empty(), "parallel fibers protect the span");
+    }
+
+    #[test]
+    fn single_fiber_is_a_bridge() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_bidi(a, b, 1.0, 1.0);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.bridges.len(), 1);
+        assert!(cs.articulation_points.is_empty());
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let mut g = DiGraph::new();
+        let ns = g.add_nodes("n", 4);
+        g.add_bidi(ns[0], ns[1], 1.0, 1.0);
+        g.add_bidi(ns[2], ns[3], 1.0, 1.0);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.bridges.len(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Used as ground truth by the TE harness: NCFlow's objective on a
+//! single commodity can never exceed the max-flow value, and the
+//! baselines report their optimality gap against it.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    cap: f64,
+    /// Index of the reverse arc in `arcs`.
+    rev: usize,
+}
+
+/// A max-flow instance built from a [`DiGraph`]'s capacities.
+#[derive(Debug)]
+pub struct MaxFlow {
+    arcs: Vec<Arc>,
+    head: Vec<Vec<usize>>,
+}
+
+impl MaxFlow {
+    /// Build from a graph, using each edge's current capacity.
+    pub fn from_graph(g: &DiGraph) -> Self {
+        let mut mf = MaxFlow { arcs: Vec::new(), head: vec![Vec::new(); g.num_nodes()] };
+        for e in g.edges() {
+            let (s, d) = g.endpoints(e);
+            mf.add_arc(s.index(), d.index(), g.capacity(e));
+        }
+        mf
+    }
+
+    /// Add a directed arc with capacity `cap`.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: f64) {
+        let a = self.arcs.len();
+        self.arcs.push(Arc { to, cap, rev: a + 1 });
+        self.arcs.push(Arc { to: from, cap: 0.0, rev: a });
+        self.head[from].push(a);
+        self.head[to].push(a + 1);
+    }
+
+    /// Maximum s→t flow value. Mutates internal residual capacities, so
+    /// call once per instance.
+    pub fn run(&mut self, s: NodeId, t: NodeId) -> f64 {
+        let (s, t) = (s.index(), t.index());
+        if s == t {
+            return 0.0;
+        }
+        let mut flow = 0.0;
+        loop {
+            let level = self.bfs_levels(s);
+            if level[t].is_none() {
+                return flow;
+            }
+            let mut it = vec![0usize; self.head.len()];
+            loop {
+                let pushed = self.dfs(s, t, f64::INFINITY, &level, &mut it);
+                if pushed <= 1e-12 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+    }
+
+    fn bfs_levels(&self, s: usize) -> Vec<Option<u32>> {
+        let mut level = vec![None; self.head.len()];
+        level[s] = Some(0);
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &ai in &self.head[u] {
+                let a = &self.arcs[ai];
+                if a.cap > 1e-12 && level[a.to].is_none() {
+                    level[a.to] = Some(level[u].unwrap() + 1);
+                    q.push_back(a.to);
+                }
+            }
+        }
+        level
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: f64, level: &[Option<u32>], it: &mut [usize]) -> f64 {
+        if u == t {
+            return limit;
+        }
+        while it[u] < self.head[u].len() {
+            let ai = self.head[u][it[u]];
+            let (to, cap) = {
+                let a = &self.arcs[ai];
+                (a.to, a.cap)
+            };
+            let ok = cap > 1e-12
+                && matches!((level[u], level[to]), (Some(lu), Some(lt)) if lt == lu + 1);
+            if ok {
+                let pushed = self.dfs(to, t, limit.min(cap), level, it);
+                if pushed > 1e-12 {
+                    self.arcs[ai].cap -= pushed;
+                    let rev = self.arcs[ai].rev;
+                    self.arcs[rev].cap += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0.0
+    }
+}
+
+/// Convenience: max-flow value from `s` to `t` on `g`.
+pub fn max_flow_value(g: &DiGraph, s: NodeId, t: NodeId) -> f64 {
+    MaxFlow::from_graph(g).run(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 7.0, 1.0);
+        assert_eq!(max_flow_value(&g, a, b), 7.0);
+    }
+
+    #[test]
+    fn series_takes_bottleneck() {
+        let mut g = DiGraph::new();
+        let ns = g.add_nodes("n", 3);
+        g.add_edge(ns[0], ns[1], 7.0, 1.0);
+        g.add_edge(ns[1], ns[2], 3.0, 1.0);
+        assert_eq!(max_flow_value(&g, ns[0], ns[2]), 3.0);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut g = DiGraph::new();
+        let ns = g.add_nodes("n", 4);
+        g.add_edge(ns[0], ns[1], 4.0, 1.0);
+        g.add_edge(ns[1], ns[3], 4.0, 1.0);
+        g.add_edge(ns[0], ns[2], 5.0, 1.0);
+        g.add_edge(ns[2], ns[3], 5.0, 1.0);
+        assert_eq!(max_flow_value(&g, ns[0], ns[3]), 9.0);
+    }
+
+    #[test]
+    fn classic_crossover_network() {
+        // CLRS figure: max flow 23.
+        let mut g = DiGraph::new();
+        let ns = g.add_nodes("n", 6); // s,v1,v2,v3,v4,t
+        let (s, v1, v2, v3, v4, t) = (ns[0], ns[1], ns[2], ns[3], ns[4], ns[5]);
+        g.add_edge(s, v1, 16.0, 1.0);
+        g.add_edge(s, v2, 13.0, 1.0);
+        g.add_edge(v1, v3, 12.0, 1.0);
+        g.add_edge(v2, v1, 4.0, 1.0);
+        g.add_edge(v2, v4, 14.0, 1.0);
+        g.add_edge(v3, v2, 9.0, 1.0);
+        g.add_edge(v3, t, 20.0, 1.0);
+        g.add_edge(v4, v3, 7.0, 1.0);
+        g.add_edge(v4, t, 4.0, 1.0);
+        assert_eq!(max_flow_value(&g, s, t), 23.0);
+    }
+
+    #[test]
+    fn zero_when_disconnected() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        assert_eq!(max_flow_value(&g, a, b), 0.0);
+    }
+
+    #[test]
+    fn zero_when_src_is_dst() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        assert_eq!(max_flow_value(&g, a, a), 0.0);
+    }
+}

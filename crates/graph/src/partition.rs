@@ -1,0 +1,192 @@
+//! Seeded region-growing graph partitioning.
+//!
+//! NCFlow contracts a WAN into a small number of clusters and solves
+//! per-cluster subproblems. The original uses spectral methods (via
+//! scikit-learn); for a deterministic, dependency-free substrate we use
+//! farthest-point seeding followed by multi-source BFS region growing,
+//! which yields connected, balanced clusters on WAN-like graphs.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// A partition of the nodes into `k` clusters.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Cluster index per node (dense, `0..k`).
+    pub cluster_of: Vec<usize>,
+    /// Members of each cluster.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Cluster containing node `n`.
+    pub fn cluster(&self, n: NodeId) -> usize {
+        self.cluster_of[n.index()]
+    }
+
+    /// Edges crossing cluster boundaries.
+    pub fn cut_edges(&self, g: &DiGraph) -> Vec<crate::digraph::EdgeId> {
+        g.edges()
+            .filter(|&e| {
+                let (s, d) = g.endpoints(e);
+                self.cluster(s) != self.cluster(d)
+            })
+            .collect()
+    }
+}
+
+/// Partition `g` into `k` clusters (clamped to the node count).
+///
+/// Deterministic: seeds are chosen by farthest-point traversal starting
+/// from node 0, and growth order is fixed by node index.
+pub fn partition(g: &DiGraph, k: usize) -> Partition {
+    let n = g.num_nodes();
+    let k = k.clamp(1, n.max(1));
+    if n == 0 {
+        return Partition { cluster_of: Vec::new(), members: vec![Vec::new(); k] };
+    }
+
+    // Farthest-point seeding by hop distance.
+    let mut seeds = vec![NodeId(0)];
+    while seeds.len() < k {
+        let dist = multi_source_bfs(g, &seeds);
+        // The node farthest from every current seed (unreached nodes are
+        // infinitely far: pick them first to cover disconnected parts).
+        let far = (0..n)
+            .max_by_key(|&i| dist[i].unwrap_or(u32::MAX))
+            .map(|i| NodeId(i as u32))
+            .unwrap();
+        if seeds.contains(&far) {
+            break; // graph smaller than k distinct regions
+        }
+        seeds.push(far);
+    }
+
+    // Multi-source BFS growth: each node joins the cluster whose seed
+    // reaches it first (ties by seed order).
+    let mut cluster_of = vec![usize::MAX; n];
+    let mut q = VecDeque::new();
+    for (ci, &s) in seeds.iter().enumerate() {
+        cluster_of[s.index()] = ci;
+        q.push_back(s);
+    }
+    while let Some(u) = q.pop_front() {
+        let cu = cluster_of[u.index()];
+        for v in g.successors(u) {
+            if cluster_of[v.index()] == usize::MAX {
+                cluster_of[v.index()] = cu;
+                q.push_back(v);
+            }
+        }
+    }
+    // Unreached nodes (disconnected graphs) fall into cluster 0.
+    for c in cluster_of.iter_mut() {
+        if *c == usize::MAX {
+            *c = 0;
+        }
+    }
+
+    let mut members = vec![Vec::new(); seeds.len()];
+    for (i, &c) in cluster_of.iter().enumerate() {
+        members[c].push(NodeId(i as u32));
+    }
+    Partition { cluster_of, members }
+}
+
+fn multi_source_bfs(g: &DiGraph, sources: &[NodeId]) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.num_nodes()];
+    let mut q = VecDeque::new();
+    for &s in sources {
+        dist[s.index()] = Some(0);
+        q.push_back(s);
+    }
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()].unwrap();
+        for v in g.successors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        let ns = g.add_nodes("n", n);
+        for w in ns.windows(2) {
+            g.add_bidi(w[0], w[1], 1.0, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn covers_every_node_exactly_once() {
+        let g = path_graph(10);
+        let p = partition(&g, 3);
+        assert_eq!(p.cluster_of.len(), 10);
+        let total: usize = p.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 10);
+        for (i, &c) in p.cluster_of.iter().enumerate() {
+            assert!(p.members[c].contains(&NodeId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn k_one_is_single_cluster() {
+        let g = path_graph(5);
+        let p = partition(&g, 1);
+        assert_eq!(p.k(), 1);
+        assert!(p.cut_edges(&g).is_empty());
+    }
+
+    #[test]
+    fn k_clamped_to_node_count() {
+        let g = path_graph(3);
+        let p = partition(&g, 10);
+        assert!(p.k() <= 3);
+    }
+
+    #[test]
+    fn path_graph_clusters_are_contiguous() {
+        let g = path_graph(12);
+        let p = partition(&g, 3);
+        // On a path, region growing yields contiguous segments: each
+        // cluster's member indices form one run.
+        for m in &p.members {
+            let mut idx: Vec<usize> = m.iter().map(|n| n.index()).collect();
+            idx.sort();
+            for w in idx.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "non-contiguous cluster {idx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_edges_are_exactly_inter_cluster() {
+        let g = path_graph(10);
+        let p = partition(&g, 2);
+        for e in p.cut_edges(&g) {
+            let (s, d) = g.endpoints(e);
+            assert_ne!(p.cluster(s), p.cluster(d));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = path_graph(20);
+        let a = partition(&g, 4);
+        let b = partition(&g, 4);
+        assert_eq!(a.cluster_of, b.cluster_of);
+    }
+}

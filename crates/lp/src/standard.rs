@@ -1,0 +1,306 @@
+//! Conversion of a [`Problem`] to computational standard form:
+//!
+//! ```text
+//!     minimize  c'x    subject to    Ax = b,   x >= 0,   b >= 0
+//! ```
+//!
+//! Transformations applied:
+//! * maximisation is negated into minimisation;
+//! * a variable with finite lower bound `l` is shifted (`x = l + x'`);
+//! * a free variable is split (`x = x⁺ − x⁻`);
+//! * a finite upper bound becomes an explicit `x' <= u − l` row;
+//! * `<=`/`>=` rows gain slack/surplus columns;
+//! * rows are scaled so `b >= 0`.
+//!
+//! The struct remembers enough to map a standard-form point back to the
+//! original variables and objective.
+
+use crate::model::{ConstraintOp, Problem, Sense};
+
+/// How one original variable maps into standard-form columns.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum VarMap {
+    /// `x = shift + col`
+    Shifted {
+        /// Standard-form column index.
+        col: usize,
+        /// Additive shift (the original lower bound).
+        shift: f64,
+    },
+    /// `x = pos - neg` (free variable split)
+    Split {
+        /// Column for the positive part.
+        pos: usize,
+        /// Column for the negative part.
+        neg: usize,
+    },
+    /// Variable was fixed (`lo == hi`) and eliminated.
+    Fixed(f64),
+}
+
+/// A sparse column: `(row, coefficient)` pairs sorted by row.
+pub type SparseCol = Vec<(usize, f64)>;
+
+/// A problem in computational standard form.
+#[derive(Debug, Clone)]
+pub struct StandardLp {
+    /// Columns of `A` (structural + slack), stored sparsely.
+    pub cols: Vec<SparseCol>,
+    /// Right-hand side, all non-negative.
+    pub b: Vec<f64>,
+    /// Minimisation objective per column.
+    pub c: Vec<f64>,
+    /// Number of rows.
+    pub m: usize,
+    pub(crate) var_map: Vec<VarMap>,
+    /// Constant objective offset accumulated by shifting/fixing.
+    pub(crate) obj_offset: f64,
+}
+
+impl StandardLp {
+    /// Convert `p` (already validated) to standard form.
+    pub fn from_problem(p: &Problem) -> Self {
+        let mut cols: Vec<SparseCol> = Vec::new();
+        let mut c: Vec<f64> = Vec::new();
+        let mut var_map: Vec<VarMap> = Vec::with_capacity(p.vars.len());
+        let mut obj_offset = 0.0;
+        // Rows: original constraints first, upper-bound rows appended.
+        let mut rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = p
+            .constraints
+            .iter()
+            .map(|con| (Vec::new(), con.op, con.rhs))
+            .collect();
+
+        let sign = match p.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+
+        for v in &p.vars {
+            if v.lo == v.hi {
+                var_map.push(VarMap::Fixed(v.lo));
+                obj_offset += sign * v.obj * v.lo;
+                continue;
+            }
+            if v.lo.is_finite() {
+                let col = cols.len();
+                cols.push(Vec::new());
+                c.push(sign * v.obj);
+                obj_offset += sign * v.obj * v.lo;
+                var_map.push(VarMap::Shifted { col, shift: v.lo });
+                if v.hi.is_finite() {
+                    rows.push((vec![(col, 1.0)], ConstraintOp::Le, v.hi - v.lo));
+                }
+            } else if v.hi.is_finite() {
+                // Only an upper bound: substitute x = hi - x', x' >= 0.
+                let col = cols.len();
+                cols.push(Vec::new());
+                c.push(-sign * v.obj);
+                obj_offset += sign * v.obj * v.hi;
+                var_map.push(VarMap::Shifted { col: usize::MAX, shift: 0.0 });
+                // Rewrite as a split with pos unused: encode via Shifted
+                // is wrong; use a dedicated mapping below.
+                let last = var_map.len() - 1;
+                var_map[last] = VarMap::Split { pos: usize::MAX, neg: col };
+                // x = hi - x'  =>  contributes -coef * x' and coef*hi to rhs.
+                // Stored via the Split{pos:MAX} marker; see fill loop.
+                // Shift bookkeeping handled there.
+                let _ = last;
+            } else {
+                let pos = cols.len();
+                cols.push(Vec::new());
+                c.push(sign * v.obj);
+                let neg = cols.len();
+                cols.push(Vec::new());
+                c.push(-sign * v.obj);
+                var_map.push(VarMap::Split { pos, neg });
+            }
+        }
+
+        // Fill constraint coefficients.
+        for (ci, con) in p.constraints.iter().enumerate() {
+            for &(v, coef) in &con.terms {
+                match var_map[v.index()] {
+                    VarMap::Fixed(val) => {
+                        rows[ci].2 -= coef * val;
+                    }
+                    VarMap::Shifted { col, shift } => {
+                        rows[ci].0.push((col, coef));
+                        rows[ci].2 -= coef * shift;
+                    }
+                    VarMap::Split { pos, neg } => {
+                        if pos == usize::MAX {
+                            // x = hi - x' (upper-bound-only variable).
+                            let hi = p.vars[v.index()].hi;
+                            rows[ci].0.push((neg, -coef));
+                            rows[ci].2 -= coef * hi;
+                        } else {
+                            rows[ci].0.push((pos, coef));
+                            rows[ci].0.push((neg, -coef));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Materialise rows into columns, adding slack/surplus and fixing
+        // signs so that b >= 0.
+        let m = rows.len();
+        let mut b = vec![0.0; m];
+        for (ri, (terms, op, rhs)) in rows.into_iter().enumerate() {
+            let flip = if rhs < 0.0 { -1.0 } else { 1.0 };
+            b[ri] = flip * rhs;
+            for (col, coef) in terms {
+                cols[col].push((ri, flip * coef));
+            }
+            match op {
+                ConstraintOp::Eq => {}
+                ConstraintOp::Le => {
+                    let s = cols.len();
+                    cols.push(vec![(ri, flip)]);
+                    c.push(0.0);
+                    let _ = s;
+                }
+                ConstraintOp::Ge => {
+                    let s = cols.len();
+                    cols.push(vec![(ri, -flip)]);
+                    c.push(0.0);
+                    let _ = s;
+                }
+            }
+        }
+
+        // Merge duplicate (row) entries inside each column and sort.
+        for col in &mut cols {
+            col.sort_by_key(|&(r, _)| r);
+            let mut merged: SparseCol = Vec::with_capacity(col.len());
+            for &(r, v) in col.iter() {
+                match merged.last_mut() {
+                    Some(&mut (lr, ref mut lv)) if lr == r => *lv += v,
+                    _ => merged.push((r, v)),
+                }
+            }
+            merged.retain(|&(_, v)| v != 0.0);
+            *col = merged;
+        }
+
+        StandardLp { cols, b, m, c, var_map, obj_offset }
+    }
+
+    /// Number of columns (structural + slack).
+    pub fn n(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Map a standard-form point back to original-variable values and
+    /// the original-sense objective.
+    pub fn recover(&self, p: &Problem, x: &[f64]) -> (Vec<f64>, f64) {
+        let mut values = vec![0.0; self.var_map.len()];
+        for (i, vm) in self.var_map.iter().enumerate() {
+            values[i] = match *vm {
+                VarMap::Fixed(v) => v,
+                VarMap::Shifted { col, shift } => shift + x[col],
+                VarMap::Split { pos, neg } => {
+                    if pos == usize::MAX {
+                        p.var_bounds(crate::VarId(i as u32)).1 - x[neg]
+                    } else {
+                        x[pos] - x[neg]
+                    }
+                }
+            };
+        }
+        let obj = p.objective_at(&values);
+        (values, obj)
+    }
+
+    /// The minimisation objective of a standard-form point (used by the
+    /// solvers' internal assertions).
+    pub fn std_objective(&self, x: &[f64]) -> f64 {
+        self.c.iter().zip(x).map(|(c, x)| c * x).sum::<f64>() + self.obj_offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, Sense};
+
+    #[test]
+    fn le_rows_gain_slacks() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        p.add_le(&[(x, 1.0)], 4.0);
+        let s = StandardLp::from_problem(&p);
+        assert_eq!(s.m, 1);
+        assert_eq!(s.n(), 2); // x + slack
+        assert_eq!(s.b, vec![4.0]);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_flipped() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        p.add_ge(&[(x, -1.0)], -4.0); // i.e. x <= 4
+        let s = StandardLp::from_problem(&p);
+        assert_eq!(s.b, vec![4.0]);
+        // Row was multiplied by -1, so x's coefficient is +1 and the
+        // surplus became +1 as well (a slack).
+        assert_eq!(s.cols[0], vec![(0, 1.0)]);
+        assert_eq!(s.cols[1], vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn finite_lower_bound_shifts() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 2.0, f64::INFINITY, 3.0);
+        p.add_ge(&[(x, 1.0)], 5.0);
+        let s = StandardLp::from_problem(&p);
+        // Row becomes x' >= 3.
+        assert_eq!(s.b, vec![3.0]);
+        assert_eq!(s.obj_offset, 6.0);
+    }
+
+    #[test]
+    fn fixed_variable_is_eliminated() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 3.0, 3.0, 2.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+        p.add_ge(&[(x, 1.0), (y, 1.0)], 5.0);
+        let s = StandardLp::from_problem(&p);
+        // x contributes 3 to the row, leaving y >= 2; objective offset 6.
+        assert_eq!(s.b, vec![2.0]);
+        assert_eq!(s.obj_offset, 6.0);
+        let (values, obj) = s.recover(&p, &[2.0, 0.0]);
+        assert_eq!(values, vec![3.0, 2.0]);
+        assert_eq!(obj, 8.0);
+    }
+
+    #[test]
+    fn free_variable_is_split() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_eq(&[(x, 1.0)], -7.0);
+        let s = StandardLp::from_problem(&p);
+        assert_eq!(s.n(), 2);
+        // Row flipped to b = 7: -pos + neg = 7.
+        let (values, _) = s.recover(&p, &[0.0, 7.0]);
+        assert!((values[0] + 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_becomes_row() {
+        let mut p = Problem::new(Sense::Maximize);
+        let _x = p.add_var("x", 0.0, 9.0, 1.0);
+        let s = StandardLp::from_problem(&p);
+        assert_eq!(s.m, 1);
+        assert_eq!(s.b, vec![9.0]);
+    }
+
+    #[test]
+    fn maximize_negates_objective() {
+        let mut p = Problem::new(Sense::Maximize);
+        let _x = p.add_var("x", 0.0, f64::INFINITY, 5.0);
+        let s = StandardLp::from_problem(&p);
+        assert_eq!(s.c[0], -5.0);
+    }
+}

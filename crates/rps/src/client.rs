@@ -1,0 +1,118 @@
+//! The RPS client.
+
+use crate::protocol::{Move, Outcome, Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One round's result from the client's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundResult {
+    /// The client's move.
+    pub you: Move,
+    /// The server's move.
+    pub server: Move,
+    /// Outcome for the client.
+    pub outcome: Outcome,
+    /// 1-based round number.
+    pub round: u64,
+}
+
+/// A connected client.
+#[derive(Debug)]
+pub struct RpsClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RpsClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<RpsClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(RpsClient { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Play one round.
+    pub fn play(&mut self, m: Move) -> io::Result<RoundResult> {
+        self.writer.write_all(Request::Play(m).wire().as_bytes())?;
+        let line = self.read_line()?;
+        match Response::parse(&line) {
+            Some(Response::Result(you, server, outcome, round)) => {
+                Ok(RoundResult { you, server, outcome, round })
+            }
+            Some(Response::Err(e)) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?} to MOVE"),
+            )),
+        }
+    }
+
+    /// Disconnect; returns rounds played per the server.
+    pub fn disconnect(mut self) -> io::Result<u64> {
+        self.writer.write_all(Request::Disconnect.wire().as_bytes())?;
+        let line = self.read_line()?;
+        match Response::parse(&line) {
+            Some(Response::Bye(n)) => Ok(n),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?} to DISCONNECT"),
+            )),
+        }
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+        }
+        Ok(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RpsServer;
+
+    fn with_server(f: impl FnOnce(std::net::SocketAddr)) {
+        let server = RpsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let hs = server.serve_connections(1).unwrap();
+            for h in hs {
+                h.join().unwrap().unwrap();
+            }
+        });
+        f(addr);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn full_session_round_trip() {
+        with_server(|addr| {
+            let mut c = RpsClient::connect(addr).unwrap();
+            let r1 = c.play(Move::Paper).unwrap();
+            assert_eq!(r1.outcome, Outcome::Win); // server opens with Rock
+            assert_eq!(r1.round, 1);
+            let r2 = c.play(Move::Paper).unwrap();
+            assert_eq!(r2.outcome, Outcome::Draw); // server plays Paper
+            let played = c.disconnect().unwrap();
+            assert_eq!(played, 2);
+        });
+    }
+
+    #[test]
+    fn outcome_matches_local_rules() {
+        with_server(|addr| {
+            let mut c = RpsClient::connect(addr).unwrap();
+            for (i, m) in [Move::Rock, Move::Scissors, Move::Rock].iter().enumerate() {
+                let r = c.play(*m).unwrap();
+                let expect = m.against(Move::from_index(i as u64));
+                assert_eq!(r.outcome, expect);
+            }
+            c.disconnect().unwrap();
+        });
+    }
+}

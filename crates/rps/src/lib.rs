@@ -1,0 +1,36 @@
+//! `netrepro-rps` — the rock-paper-scissors client/server of the
+//! paper's Figure 3.
+//!
+//! The paper's motivating example has an undergraduate prompt ChatGPT
+//! into a 93-LoC Python client/server pair in four prompts. (The prose
+//! says "UDP" but the generated code in Figure 3 uses `SOCK_STREAM`;
+//! we implement the TCP protocol the figure actually shows.)
+//!
+//! Design notes, per the session's Rust networking guides: this program
+//! serves a handful of interactive connections and does no concurrent
+//! I/O fan-out, which is exactly the case the Tokio tutorial lists under
+//! "when not to use Tokio" — so it uses blocking `std::net` sockets with
+//! a thread per connection.
+//!
+//! The wire protocol is line-based text, one message per line:
+//!
+//! ```text
+//! client -> server:  MOVE <R|P|S>        play a round
+//!                    DISCONNECT          end the session
+//! server -> client:  RESULT <you> <me> <WIN|LOSE|DRAW> <round>
+//!                    BYE <rounds-played>
+//!                    ERR <reason>
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod udp;
+
+pub use client::RpsClient;
+pub use protocol::{Move, Outcome};
+pub use server::RpsServer;
+pub use udp::{UdpRpsClient, UdpRpsServer};

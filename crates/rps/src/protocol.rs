@@ -1,0 +1,230 @@
+//! Moves, outcomes and the line protocol.
+
+/// A rock-paper-scissors move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Rock.
+    Rock,
+    /// Paper.
+    Paper,
+    /// Scissors.
+    Scissors,
+}
+
+impl Move {
+    /// Parse the single-letter encoding (`R`/`P`/`S`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Move> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "R" => Some(Move::Rock),
+            "P" => Some(Move::Paper),
+            "S" => Some(Move::Scissors),
+            _ => None,
+        }
+    }
+
+    /// Single-letter encoding.
+    pub fn letter(self) -> char {
+        match self {
+            Move::Rock => 'R',
+            Move::Paper => 'P',
+            Move::Scissors => 'S',
+        }
+    }
+
+    /// The move this one defeats.
+    pub fn beats(self) -> Move {
+        match self {
+            Move::Rock => Move::Scissors,
+            Move::Paper => Move::Rock,
+            Move::Scissors => Move::Paper,
+        }
+    }
+
+    /// Outcome from this move's perspective against `other`.
+    pub fn against(self, other: Move) -> Outcome {
+        if self == other {
+            Outcome::Draw
+        } else if self.beats() == other {
+            Outcome::Win
+        } else {
+            Outcome::Lose
+        }
+    }
+
+    /// Deterministic move from a round counter (the server's "AI").
+    pub fn from_index(i: u64) -> Move {
+        match i % 3 {
+            0 => Move::Rock,
+            1 => Move::Paper,
+            _ => Move::Scissors,
+        }
+    }
+}
+
+/// Round outcome from the client's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Client won.
+    Win,
+    /// Client lost.
+    Lose,
+    /// Draw.
+    Draw,
+}
+
+impl Outcome {
+    /// Wire encoding.
+    pub fn wire(self) -> &'static str {
+        match self {
+            Outcome::Win => "WIN",
+            Outcome::Lose => "LOSE",
+            Outcome::Draw => "DRAW",
+        }
+    }
+
+    /// Parse the wire encoding.
+    pub fn parse(s: &str) -> Option<Outcome> {
+        match s {
+            "WIN" => Some(Outcome::Win),
+            "LOSE" => Some(Outcome::Lose),
+            "DRAW" => Some(Outcome::Draw),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Play a round.
+    Play(Move),
+    /// End the session.
+    Disconnect,
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Option<Request> {
+        let mut parts = line.trim().split_whitespace();
+        match parts.next()? {
+            "MOVE" => Move::parse(parts.next()?).map(Request::Play),
+            "DISCONNECT" => Some(Request::Disconnect),
+            _ => None,
+        }
+    }
+
+    /// Wire encoding (with trailing newline).
+    pub fn wire(self) -> String {
+        match self {
+            Request::Play(m) => format!("MOVE {}\n", m.letter()),
+            Request::Disconnect => "DISCONNECT\n".to_string(),
+        }
+    }
+}
+
+/// A parsed server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Round result: client move, server move, outcome, round number.
+    Result(Move, Move, Outcome, u64),
+    /// Session over after N rounds.
+    Bye(u64),
+    /// Protocol error.
+    Err(String),
+}
+
+impl Response {
+    /// Parse one response line.
+    pub fn parse(line: &str) -> Option<Response> {
+        let mut parts = line.trim().split_whitespace();
+        match parts.next()? {
+            "RESULT" => {
+                let you = Move::parse(parts.next()?)?;
+                let me = Move::parse(parts.next()?)?;
+                let outcome = Outcome::parse(parts.next()?)?;
+                let round = parts.next()?.parse().ok()?;
+                Some(Response::Result(you, me, outcome, round))
+            }
+            "BYE" => Some(Response::Bye(parts.next()?.parse().ok()?)),
+            "ERR" => Some(Response::Err(parts.collect::<Vec<_>>().join(" "))),
+            _ => None,
+        }
+    }
+
+    /// Wire encoding (with trailing newline).
+    pub fn wire(&self) -> String {
+        match self {
+            Response::Result(you, me, o, round) => {
+                format!("RESULT {} {} {} {}\n", you.letter(), me.letter(), o.wire(), round)
+            }
+            Response::Bye(n) => format!("BYE {n}\n"),
+            Response::Err(e) => format!("ERR {e}\n"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_parsing_is_lenient() {
+        assert_eq!(Move::parse(" r "), Some(Move::Rock));
+        assert_eq!(Move::parse("P"), Some(Move::Paper));
+        assert_eq!(Move::parse("s"), Some(Move::Scissors));
+        assert_eq!(Move::parse("x"), None);
+        assert_eq!(Move::parse(""), None);
+    }
+
+    #[test]
+    fn game_rules() {
+        use Move::*;
+        assert_eq!(Rock.against(Scissors), Outcome::Win);
+        assert_eq!(Rock.against(Paper), Outcome::Lose);
+        assert_eq!(Rock.against(Rock), Outcome::Draw);
+        assert_eq!(Paper.against(Rock), Outcome::Win);
+        assert_eq!(Scissors.against(Paper), Outcome::Win);
+    }
+
+    #[test]
+    fn rules_are_antisymmetric() {
+        for a in [Move::Rock, Move::Paper, Move::Scissors] {
+            for b in [Move::Rock, Move::Paper, Move::Scissors] {
+                match a.against(b) {
+                    Outcome::Win => assert_eq!(b.against(a), Outcome::Lose),
+                    Outcome::Lose => assert_eq!(b.against(a), Outcome::Win),
+                    Outcome::Draw => assert_eq!(b.against(a), Outcome::Draw),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        for r in [Request::Play(Move::Paper), Request::Disconnect] {
+            assert_eq!(Request::parse(&r.wire()), Some(r));
+        }
+        assert_eq!(Request::parse("MOVE"), None);
+        assert_eq!(Request::parse("JUMP R"), None);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let rs = [
+            Response::Result(Move::Rock, Move::Scissors, Outcome::Win, 3),
+            Response::Bye(7),
+            Response::Err("bad move".to_string()),
+        ];
+        for r in rs {
+            assert_eq!(Response::parse(&r.wire()), Some(r.clone()));
+        }
+    }
+
+    #[test]
+    fn server_ai_cycles() {
+        assert_eq!(Move::from_index(0), Move::Rock);
+        assert_eq!(Move::from_index(1), Move::Paper);
+        assert_eq!(Move::from_index(2), Move::Scissors);
+        assert_eq!(Move::from_index(3), Move::Rock);
+    }
+}

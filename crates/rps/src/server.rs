@@ -1,0 +1,135 @@
+//! The RPS server: blocking `std::net`, one thread per connection.
+
+use crate::protocol::{Move, Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::thread::JoinHandle;
+
+/// A bound server. Accept loops run on demand via
+/// [`RpsServer::serve_connections`] (tests, examples) or
+/// [`RpsServer::serve_forever`] (the demo binary).
+#[derive(Debug)]
+pub struct RpsServer {
+    listener: TcpListener,
+}
+
+impl RpsServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<RpsServer> {
+        Ok(RpsServer { listener: TcpListener::bind(addr)? })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept exactly `n` connections, each on its own thread, then
+    /// return the join handles. Each handle yields the rounds played.
+    pub fn serve_connections(&self, n: usize) -> io::Result<Vec<JoinHandle<io::Result<u64>>>> {
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (stream, _) = self.listener.accept()?;
+            handles.push(std::thread::spawn(move || handle_connection(stream)));
+        }
+        Ok(handles)
+    }
+
+    /// Accept connections until the process dies.
+    pub fn serve_forever(&self) -> io::Result<()> {
+        loop {
+            let (stream, peer) = self.listener.accept()?;
+            std::thread::spawn(move || {
+                if let Err(e) = handle_connection(stream) {
+                    eprintln!("connection {peer}: {e}");
+                }
+            });
+        }
+    }
+}
+
+/// Serve one client until `DISCONNECT`/EOF. Returns rounds played.
+fn handle_connection(stream: TcpStream) -> io::Result<u64> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let mut round: u64 = 0;
+    for line in reader.lines() {
+        let line = line?;
+        match Request::parse(&line) {
+            Some(Request::Play(client_move)) => {
+                round += 1;
+                // Deterministic cycling opponent: easy to test against
+                // and fair over any multiple of three rounds.
+                let server_move = Move::from_index(round - 1);
+                let outcome = client_move.against(server_move);
+                let resp = Response::Result(client_move, server_move, outcome, round);
+                writer.write_all(resp.wire().as_bytes())?;
+            }
+            Some(Request::Disconnect) => {
+                writer.write_all(Response::Bye(round).wire().as_bytes())?;
+                break;
+            }
+            None => {
+                writer.write_all(Response::Err("malformed request".into()).wire().as_bytes())?;
+            }
+        }
+    }
+    Ok(round)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_session(lines: &[&str]) -> Vec<String> {
+        let server = RpsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handles = {
+            let lines: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+            let client = std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                for l in &lines {
+                    stream.write_all(format!("{l}\n").as_bytes()).unwrap();
+                }
+                // Half-close so the server sees EOF even when the script
+                // never sends DISCONNECT.
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let reader = BufReader::new(stream);
+                reader.lines().map(|l| l.unwrap()).collect::<Vec<_>>()
+            });
+            let h = server.serve_connections(1).unwrap();
+            let out = client.join().unwrap();
+            for handle in h {
+                handle.join().unwrap().unwrap();
+            }
+            out
+        };
+        handles
+    }
+
+    #[test]
+    fn plays_rounds_and_says_bye() {
+        let out = raw_session(&["MOVE P", "MOVE R", "DISCONNECT"]);
+        assert_eq!(out.len(), 3);
+        // Round 1: server plays R, client P wins.
+        assert_eq!(out[0], "RESULT P R WIN 1");
+        // Round 2: server plays P, client R loses.
+        assert_eq!(out[1], "RESULT R P LOSE 2");
+        assert_eq!(out[2], "BYE 2");
+    }
+
+    #[test]
+    fn malformed_input_gets_err_not_disconnect() {
+        let out = raw_session(&["JUMP", "MOVE S", "DISCONNECT"]);
+        assert!(out[0].starts_with("ERR"));
+        assert_eq!(out[1], "RESULT S R LOSE 1"); // server opens with Rock
+        assert_eq!(out[2], "BYE 1");
+    }
+
+    #[test]
+    fn eof_without_disconnect_is_clean() {
+        let out = raw_session(&["MOVE R"]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].starts_with("RESULT R R DRAW 1"));
+    }
+}

@@ -1,0 +1,164 @@
+//! The UDP variant of the rock-paper-scissors pair.
+//!
+//! The paper's *prose* describes the motivating example as "a UDP
+//! server and client", while its Figure 3 code uses `SOCK_STREAM`.
+//! Both are provided; this is the datagram one. The wire protocol is
+//! identical to the TCP variant (one request/response line per
+//! datagram), and the server tracks per-peer round counters so
+//! interleaved clients each get their own game.
+
+use crate::protocol::{Move, Request, Response};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+
+/// A bound UDP server.
+#[derive(Debug)]
+pub struct UdpRpsServer {
+    socket: UdpSocket,
+    rounds: HashMap<SocketAddr, u64>,
+}
+
+impl UdpRpsServer {
+    /// Bind to `addr` (port 0 for ephemeral).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<UdpRpsServer> {
+        Ok(UdpRpsServer { socket: UdpSocket::bind(addr)?, rounds: HashMap::new() })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Serve exactly `n` datagrams, then return. (The UDP server has no
+    /// connection boundary, so tests and demos drive it by datagram
+    /// count; `serve_forever` loops this.)
+    pub fn serve_datagrams(&mut self, n: usize) -> io::Result<()> {
+        let mut buf = [0u8; 512];
+        for _ in 0..n {
+            let (len, peer) = self.socket.recv_from(&mut buf)?;
+            let line = String::from_utf8_lossy(&buf[..len]);
+            let reply = match Request::parse(&line) {
+                Some(Request::Play(client_move)) => {
+                    let round = self.rounds.entry(peer).or_insert(0);
+                    *round += 1;
+                    let server_move = Move::from_index(*round - 1);
+                    Response::Result(client_move, server_move, client_move.against(server_move), *round)
+                }
+                Some(Request::Disconnect) => {
+                    let played = self.rounds.remove(&peer).unwrap_or(0);
+                    Response::Bye(played)
+                }
+                None => Response::Err("malformed request".into()),
+            };
+            self.socket.send_to(reply.wire().as_bytes(), peer)?;
+        }
+        Ok(())
+    }
+
+    /// Serve datagrams until the process dies.
+    pub fn serve_forever(&mut self) -> io::Result<()> {
+        loop {
+            self.serve_datagrams(64)?;
+        }
+    }
+}
+
+/// A UDP client (connected socket; one request/response per datagram).
+#[derive(Debug)]
+pub struct UdpRpsClient {
+    socket: UdpSocket,
+}
+
+impl UdpRpsClient {
+    /// Create a client talking to `server`.
+    pub fn connect(server: impl ToSocketAddrs) -> io::Result<UdpRpsClient> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.connect(server)?;
+        socket.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+        Ok(UdpRpsClient { socket })
+    }
+
+    fn round_trip(&mut self, req: Request) -> io::Result<Response> {
+        self.socket.send(req.wire().as_bytes())?;
+        let mut buf = [0u8; 512];
+        let len = self.socket.recv(&mut buf)?;
+        Response::parse(&String::from_utf8_lossy(&buf[..len]))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad response"))
+    }
+
+    /// Play one round.
+    pub fn play(&mut self, m: Move) -> io::Result<crate::client::RoundResult> {
+        match self.round_trip(Request::Play(m))? {
+            Response::Result(you, server, outcome, round) => {
+                Ok(crate::client::RoundResult { you, server, outcome, round })
+            }
+            Response::Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?} to MOVE"),
+            )),
+        }
+    }
+
+    /// End the game; returns rounds played.
+    pub fn disconnect(mut self) -> io::Result<u64> {
+        match self.round_trip(Request::Disconnect)? {
+            Response::Bye(n) => Ok(n),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response {other:?} to DISCONNECT"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Outcome;
+
+    #[test]
+    fn udp_session_round_trips() {
+        let mut server = UdpRpsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.serve_datagrams(4).unwrap());
+        let mut c = UdpRpsClient::connect(addr).unwrap();
+        let r1 = c.play(Move::Paper).unwrap();
+        assert_eq!(r1.outcome, Outcome::Win);
+        let r2 = c.play(Move::Rock).unwrap();
+        assert_eq!(r2.outcome, Outcome::Lose); // server plays Paper
+        let r3 = c.play(Move::Rock).unwrap();
+        assert_eq!(r3.outcome, Outcome::Win); // server plays Scissors
+        assert_eq!(c.disconnect().unwrap(), 3);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn udp_server_tracks_peers_independently() {
+        let mut server = UdpRpsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.serve_datagrams(4).unwrap());
+        let mut a = UdpRpsClient::connect(addr).unwrap();
+        let mut b = UdpRpsClient::connect(addr).unwrap();
+        assert_eq!(a.play(Move::Rock).unwrap().round, 1);
+        assert_eq!(b.play(Move::Rock).unwrap().round, 1, "peer B must have its own counter");
+        assert_eq!(a.play(Move::Rock).unwrap().round, 2);
+        assert_eq!(b.play(Move::Rock).unwrap().round, 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn udp_malformed_datagram_gets_err() {
+        let mut server = UdpRpsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.serve_datagrams(1).unwrap());
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.connect(addr).unwrap();
+        sock.send(b"JUMP high\n").unwrap();
+        let mut buf = [0u8; 128];
+        let len = sock.recv(&mut buf).unwrap();
+        assert!(String::from_utf8_lossy(&buf[..len]).starts_with("ERR"));
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,61 @@
+//! `netrepro-te` — traffic engineering: NCFlow (Abuzaid et al., NSDI
+//! 2021, participant A's system) and ARROW (Zhong et al., SIGCOMM 2021,
+//! participant B's system), plus the flat multicommodity-flow LP they
+//! both build on and a greedy baseline.
+//!
+//! Everything solves through the [`netrepro_lp`] crate, so every
+//! algorithm here can run on either the fast (revised-simplex /
+//! "Gurobi") or slow (dense-tableau / "PuLP") solver — the pairing whose
+//! latency gap Table A reproduces.
+//!
+//! ARROW ships in two deliberately different formulations,
+//! [`arrow::ArrowVariant::Faithful`] (what the paper text says) and
+//! [`arrow::ArrowVariant::OpenSource`] (what the released Julia code
+//! does), because the HotNets paper traces participant B's 30% objective
+//! discrepancy to exactly that inconsistency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrow;
+pub mod baseline;
+pub mod mcf;
+pub mod ncflow;
+
+pub use mcf::{McfSolution, TeInstance};
+
+/// Errors from the TE pipelines.
+#[derive(Debug)]
+pub enum TeError {
+    /// The underlying LP solve failed.
+    Lp(netrepro_lp::LpError),
+    /// The LP reported an unexpected terminal status.
+    UnexpectedStatus(netrepro_lp::Status),
+    /// No tunnels could be found for a commodity.
+    NoTunnels {
+        /// Source node.
+        src: netrepro_graph::NodeId,
+        /// Destination node.
+        dst: netrepro_graph::NodeId,
+    },
+}
+
+impl std::fmt::Display for TeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeError::Lp(e) => write!(f, "LP failure: {e}"),
+            TeError::UnexpectedStatus(s) => write!(f, "unexpected LP status {s:?}"),
+            TeError::NoTunnels { src, dst } => {
+                write!(f, "no tunnels between {src:?} and {dst:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TeError {}
+
+impl From<netrepro_lp::LpError> for TeError {
+    fn from(e: netrepro_lp::LpError) -> Self {
+        TeError::Lp(e)
+    }
+}

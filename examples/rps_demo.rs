@@ -1,0 +1,64 @@
+//! The Figure 3 program, live: start the rock-paper-scissors server on
+//! an ephemeral port, connect a client, play a best-of-nine.
+//!
+//! ```sh
+//! cargo run --example rps_demo
+//! ```
+
+use netrepro::rps::{Move, Outcome, RpsClient, RpsServer};
+
+fn main() {
+    let server = RpsServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr");
+    println!("server listening on {addr}");
+
+    let server_thread = std::thread::spawn(move || {
+        let handles = server.serve_connections(1).expect("accept");
+        for h in handles {
+            let rounds = h.join().expect("thread").expect("serve");
+            println!("server: session ended after {rounds} rounds");
+        }
+    });
+
+    let mut client = RpsClient::connect(addr).expect("connect");
+    println!("client connected");
+
+    let strategy = [
+        Move::Paper,
+        Move::Scissors,
+        Move::Rock,
+        Move::Rock,
+        Move::Paper,
+        Move::Scissors,
+        Move::Scissors,
+        Move::Rock,
+        Move::Paper,
+    ];
+    let (mut w, mut l, mut d) = (0, 0, 0);
+    for m in strategy {
+        let r = client.play(m).expect("play");
+        let word = match r.outcome {
+            Outcome::Win => {
+                w += 1;
+                "win"
+            }
+            Outcome::Lose => {
+                l += 1;
+                "lose"
+            }
+            Outcome::Draw => {
+                d += 1;
+                "draw"
+            }
+        };
+        println!(
+            "round {:>2}: you {} vs server {} -> {word}",
+            r.round,
+            r.you.letter(),
+            r.server.letter()
+        );
+    }
+    let rounds = client.disconnect().expect("disconnect");
+    println!("final: {w} wins / {l} losses / {d} draws over {rounds} rounds");
+    server_thread.join().expect("server thread");
+}

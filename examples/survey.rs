@@ -1,0 +1,42 @@
+//! The §2.1 survey: open-source-prototype rates and comparison burdens
+//! over the synthetic SIGCOMM/NSDI 2013–2022 corpus.
+//!
+//! ```sh
+//! cargo run --example survey
+//! ```
+
+use netrepro::core::survey::{build_corpus, SurveyStats, Venue};
+
+fn main() {
+    let corpus = build_corpus(2023);
+    let stats = SurveyStats::compute(&corpus);
+
+    println!("corpus: {} papers (2013-2022)", corpus.len());
+    println!("\nopen-source rate per year:");
+    println!("{:>6} {:>10} {:>10}", "year", "SIGCOMM", "NSDI");
+    for year in 2013..=2022u32 {
+        let get = |v: Venue| {
+            stats
+                .per_year
+                .iter()
+                .find(|&&(venue, y, _)| venue == v && y == year)
+                .map(|&(_, _, r)| 100.0 * r)
+                .unwrap_or(f64::NAN)
+        };
+        println!("{year:>6} {:>9.1}% {:>9.1}%", get(Venue::Sigcomm), get(Venue::Nsdi));
+    }
+    println!(
+        "\naggregates: SIGCOMM {:.1}% | NSDI {:.1}% | both {:.1}%  (paper: 32/29/31)",
+        100.0 * stats.sigcomm_rate,
+        100.0 * stats.nsdi_rate,
+        100.0 * stats.both_rate
+    );
+    println!(
+        "comparisons: {:.2}% compare >=2 (paper 59.68); manual >=1 {:.2}% (49.20); \
+         manual >=2 {:.2}% (26.65); conditional mean {:.2} (2.29)",
+        100.0 * stats.pct_ge2_compared,
+        100.0 * stats.pct_ge1_manual,
+        100.0 * stats.pct_ge2_manual,
+        stats.mean_manual_conditional
+    );
+}

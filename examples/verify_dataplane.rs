@@ -1,0 +1,78 @@
+//! Data-plane verification tour: generate a faulty FIB dataset, find
+//! its loops and blackholes with the AP verifier, then replay the same
+//! rules through APKeep incrementally and watch the change counts.
+//!
+//! ```sh
+//! cargo run --example verify_dataplane
+//! ```
+
+use netrepro::bdd::EngineProfile;
+use netrepro::dpv::ap::ApVerifier;
+use netrepro::dpv::apkeep::ApKeep;
+use netrepro::dpv::dataset::{generate, DatasetOpts};
+use netrepro::dpv::header::HeaderLayout;
+use netrepro::dpv::reach::{blackholes, find_loops, selective_bfs};
+use netrepro::graph::gen::{waxman, TopologySpec};
+use netrepro::graph::NodeId;
+
+fn main() {
+    // A WAN with deliberately injected faults: more-specific rules that
+    // deflect or drop slices of other devices' prefixes.
+    let graph = waxman(&TopologySpec::new("Faulty", 16, 42));
+    let ds = generate(
+        graph,
+        HeaderLayout::new(14),
+        &DatasetOpts { prefixes_per_device: 1, fault_rate: 0.6, seed: 42 },
+    );
+    println!(
+        "dataset: {} devices, {} rules",
+        ds.network.graph.num_nodes(),
+        ds.network.num_rules()
+    );
+
+    // Batch verification (the AP verifier).
+    let verifier = ApVerifier::build(&ds.network, EngineProfile::Cached);
+    println!("atomic predicates: {}", verifier.num_atoms());
+
+    let loops = find_loops(&verifier, 5);
+    println!("forwarding loops: {}", loops.len());
+    for l in &loops {
+        println!("  loop through device {:?} carrying {} atoms", l.device, l.atoms.len());
+    }
+
+    let bh = blackholes(&verifier, NodeId(0));
+    let owned_dropped: usize = bh
+        .iter()
+        .map(|(d, atoms)| {
+            // Only count drops of *owned* header space: the unowned
+            // residue legitimately has nowhere to go.
+            let mut owned = netrepro::dpv::ap::AtomSet::empty(verifier.num_atoms());
+            for dev in 0..verifier.tables.len() {
+                owned = owned.union(&verifier.deliver_set(NodeId(dev as u32)));
+            }
+            let _ = d;
+            atoms.intersect(&owned).len()
+        })
+        .sum();
+    println!("blackholed owned atoms (from device 0): {owned_dropped}");
+
+    let r = selective_bfs(&verifier, NodeId(0), NodeId(9));
+    println!("reachability 0 -> 9: {} delivered atoms", r.delivered.len());
+
+    // Incremental verification (APKeep): replay the same rules.
+    let mut apkeep = ApKeep::new(&ds.network, EngineProfile::Cached);
+    let mut changes = 0usize;
+    for v in ds.network.graph.nodes() {
+        for rule in &ds.network.device(v).rules {
+            changes += apkeep.insert(v, *rule);
+        }
+    }
+    println!(
+        "APKeep replay: {} rules -> {} behaviour changes, {} atomic predicates",
+        ds.network.num_rules(),
+        changes,
+        apkeep.num_atomic_predicates()
+    );
+    assert_eq!(apkeep.num_atomic_predicates(), verifier.num_atoms());
+    println!("incremental and batch verifiers agree on the atom count ✓");
+}

