@@ -12,7 +12,7 @@
 //! 3. **R2** — for every cluster, solve a *local* MCF over the induced
 //!    subgraph plus portal nodes standing for the neighbouring
 //!    clusters; transit demands equal the R1 allocations. Clusters are
-//!    independent and solved in parallel (crossbeam scoped threads).
+//!    independent and solved in parallel (std scoped threads).
 //! 4. **R3** — reconcile: each inter-cluster commodity realises the
 //!    minimum of its R1 allocation and its R2 admissions along the
 //!    cluster path; intra-cluster commodities realise their R2
@@ -198,19 +198,18 @@ pub fn solve_ncflow(
 
     let r2_results: Vec<Result<R2Out, TeError>> = if cfg.parallel_r2 {
         let mut slots: Vec<Option<Result<R2Out, TeError>>> = (0..k).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (c, slot) in slots.iter_mut().enumerate() {
                 let solve_cluster = &solve_cluster;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     *slot = Some(solve_cluster(c));
                 }));
             }
             for h in handles {
                 h.join().expect("cluster solver panicked");
             }
-        })
-        .expect("crossbeam scope");
+        });
         slots.into_iter().map(|s| s.expect("slot filled")).collect()
     } else {
         (0..k).map(solve_cluster).collect()

@@ -1,0 +1,164 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!`/`Criterion`
+//! surface the bench bins use. Instead of criterion's statistical
+//! machinery it warms each closure once, times a small fixed number of
+//! iterations, and prints the mean wall time per iteration — enough to
+//! eyeball relative cost, which is all the captured experiment tables
+//! need. Honours `NETREPRO_BENCH_ITERS` to raise or lower the
+//! iteration count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver passed to each group fn.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            iters: std::env::var("NETREPRO_BENCH_ITERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10),
+        }
+    }
+}
+
+/// A benchmark id: label plus an optional parameter, printed as
+/// `label/param` like criterion's.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id for `label` at parameter `param`.
+    pub fn new(label: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            repr: format!("{label}/{param}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.repr)
+    }
+}
+
+/// A group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup {
+    iters: u32,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = n.max(1) as u32;
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            total_ns: 0,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Times one benchmark that borrows an input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            total_ns: 0,
+            timed_iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    iters: u32,
+    total_ns: u128,
+    timed_iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` once to warm up, then `iters` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.timed_iters += self.iters;
+    }
+
+    fn report(&self, id: &str) {
+        if self.timed_iters == 0 {
+            println!("  {id:<40} (not measured)");
+            return;
+        }
+        let mean_ns = self.total_ns / self.timed_iters as u128;
+        let pretty = if mean_ns >= 1_000_000 {
+            format!("{:.3} ms", mean_ns as f64 / 1e6)
+        } else if mean_ns >= 1_000 {
+            format!("{:.3} us", mean_ns as f64 / 1e3)
+        } else {
+            format!("{mean_ns} ns")
+        };
+        println!("  {id:<40} {pretty}/iter over {} iters", self.timed_iters);
+    }
+}
+
+/// Declares a bench group fn list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Bench bins are also built by `cargo test`; the harness
+            // passes flags like `--bench`/`--test` that we ignore.
+            $($group();)+
+        }
+    };
+}

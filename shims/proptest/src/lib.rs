@@ -1,0 +1,612 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy/`proptest!` surface this workspace uses —
+//! range and tuple strategies, `prop_map`, `prop_recursive`,
+//! `prop_oneof!`, `collection::vec`, `any::<bool>()`, the
+//! `prop_assert*` macros and `ProptestConfig::with_cases` — driven by a
+//! deterministic per-test PRNG (seeded from the test's name, so runs
+//! are reproducible). Failing inputs are reported via `Debug` but not
+//! shrunk; with fully seeded deterministic generators that trade-off
+//! is acceptable for an offline build.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! Config, PRNG and failure type for generated test fns.
+
+    /// How many random cases each `proptest!` test runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Deterministic generator behind every strategy draw
+    /// (SplitMix64: tiny, full-period, plenty for test sampling).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a test's name so each test gets an independent,
+        /// stable stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling bound");
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A failed property (carries the formatted assertion message).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic sampler.
+pub trait Strategy: Clone {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind an `Rc`.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy {
+            sample: Rc::new(move |rng| inner.generate(rng)),
+        }
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for the
+    /// previous depth level and returns the next one; the result mixes
+    /// all levels (so leaves stay reachable, as in real proptest).
+    /// `_desired_size` and `_branch` are accepted for signature
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut levels = vec![leaf.clone()];
+        let mut cur = leaf;
+        for _ in 0..depth {
+            cur = recurse(cur).boxed();
+            levels.push(cur.clone());
+        }
+        Union::new(levels).boxed()
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- range strategies ----
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+signed_strategy!(i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---- tuple strategies ----
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A/a, B/b);
+tuple_strategy!(A/a, B/b, C/c);
+tuple_strategy!(A/a, B/b, C/c, D/d);
+tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f, G/g);
+
+// ---- any ----
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait ArbitrarySample: Sized {
+    /// Draw one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitrarySample for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl ArbitrarySample for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl ArbitrarySample for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: ArbitrarySample + Clone> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: ArbitrarySample + Clone>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- collections ----
+
+pub mod collection {
+    //! `vec` and its size argument.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Acceptable size arguments for [`vec`]: a fixed length or a
+    /// half-open range of lengths.
+    #[derive(Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.lo < self.size.hi, "empty vec size range");
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `elem` and
+    /// whose length comes from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+// ---- macros ----
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = result {
+                    panic!(
+                        "proptest `{}` failed on case {}/{}: {}",
+                        stringify!($name), case + 1, cfg.cases, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Fails the current property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} == {} failed: {:?} vs {:?} at {}:{}",
+                stringify!($a), stringify!($b), a, b, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} == {} failed: {:?} vs {:?} ({}) at {}:{}",
+                stringify!($a), stringify!($b), a, b,
+                format!($($fmt)+), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Fails the current property case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} != {} failed: both {:?} at {}:{}",
+                stringify!($a), stringify!($b), a, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} != {} failed: both {:?} ({}) at {}:{}",
+                stringify!($a), stringify!($b), a,
+                format!($($fmt)+), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among the listed strategies (all must generate the
+/// same type). Weighted arms are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+pub mod prelude {
+    //! Everything a test file needs via `use proptest::prelude::*`.
+
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, Strategy, Union,
+    };
+
+    pub mod prop {
+        //! The `prop::` alias namespace (`prop::collection::vec`).
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_and_vec_respect_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..200 {
+            let n = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&n));
+            let v = prop::collection::vec(0u32..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 10));
+            let w = prop::collection::vec(0u32..4, 8).generate(&mut rng);
+            assert_eq!(w.len(), 8);
+        }
+    }
+
+    #[test]
+    fn map_tuple_union_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let s = (0u32..5, 0u32..5).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) < 10);
+        }
+        let u = prop_oneof![Just(1u32), Just(2u32)];
+        for _ in 0..20 {
+            let x = u.generate(&mut rng);
+            assert!(x == 1 || x == 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn generated_tests_run(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flag {
+                prop_assert_ne!(x, 100);
+            }
+            prop_assert_eq!(x, x, "reflexivity for {}", x);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace actually uses — structs with named fields,
+//! and enums whose variants are unit or struct-like — without `syn` or
+//! `quote` (neither is available offline). The input item is parsed
+//! directly from the compiler's `TokenStream` and the impl is emitted
+//! as a string, matching serde's externally-tagged enum encoding:
+//! a unit variant serialises to its name as a string, a struct variant
+//! to `{"Variant": {fields...}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` item: just the names the codegen needs.
+enum Body {
+    /// Named field list.
+    Struct(Vec<String>),
+    /// `(variant, None)` for unit variants, `(variant, Some(fields))`
+    /// for struct-like variants.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+/// Derives `serde::Serialize` (the shim's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let out = match body {
+        Body::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"
+                    ),
+                    Some(fs) => {
+                        let binds = fs.join(", ");
+                        let pairs: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))\
+                             ]),",
+                            pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the shim's `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let out = match body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| f.is_none())
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, f)| f.as_ref().map(|fs| (v, fs)))
+                .map(|(v, fs)| {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!("\"{v}\" => Ok({name}::{v} {{ {} }}),", inits.join(", "))
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(::serde::DeError(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     other => Err(::serde::DeError(format!(\n\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError(format!(\n\
+                                 \"bad {name} encoding: {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("derived Deserialize impl parses")
+}
+
+/// Extracts the item name and field/variant names from a derive input.
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind = "";
+    // Skip attributes (`#[...]`, including doc comments) and
+    // visibility until the `struct`/`enum` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = if s == "struct" { "struct" } else { "enum" };
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+    // Skip ahead to the body brace (no generics in this workspace, but
+    // tolerate anything before the first top-level brace group).
+    let group = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive({name}): no braced body"));
+    let body = if kind == "struct" {
+        Body::Struct(
+            split_top_level(group)
+                .into_iter()
+                .filter_map(|chunk| field_name(&chunk))
+                .collect(),
+        )
+    } else {
+        Body::Enum(
+            split_top_level(group)
+                .into_iter()
+                .filter_map(|chunk| variant(&chunk, &name))
+                .collect(),
+        )
+    };
+    (name, body)
+}
+
+/// Splits a brace-group body on commas that sit outside any `<...>`
+/// angle-bracket nesting (parens/brackets/braces are already nested
+/// token groups, so only angle depth needs tracking).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle: i32 = 0;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("chunk list non-empty").push(t);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// The field name in a `vis name: Type` chunk (attributes skipped).
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let mut last_ident = None;
+    for t in chunk {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ':' => return last_ident,
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses one enum-variant chunk: `Name`, `Name { fields }`, rejecting
+/// tuple variants (nothing in the workspace uses them).
+fn variant(chunk: &[TokenTree], enum_name: &str) -> Option<(String, Option<Vec<String>>)> {
+    let mut name = None;
+    for t in chunk {
+        match t {
+            TokenTree::Ident(id) if name.is_none() => name = Some(id.to_string()),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let fields = split_top_level(g.stream())
+                    .into_iter()
+                    .filter_map(|c| field_name(&c))
+                    .collect();
+                return name.map(|n| (n, Some(fields)));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "derive({enum_name}): tuple variants are not supported by the serde shim"
+                );
+            }
+            _ => {}
+        }
+    }
+    name.map(|n| (n, None))
+}

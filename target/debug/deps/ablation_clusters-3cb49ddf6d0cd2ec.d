@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_clusters-3cb49ddf6d0cd2ec.d: crates/bench/src/bin/ablation_clusters.rs
+
+/root/repo/target/debug/deps/ablation_clusters-3cb49ddf6d0cd2ec: crates/bench/src/bin/ablation_clusters.rs
+
+crates/bench/src/bin/ablation_clusters.rs:

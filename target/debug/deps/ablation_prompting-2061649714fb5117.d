@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_prompting-2061649714fb5117.d: crates/bench/src/bin/ablation_prompting.rs
+
+/root/repo/target/debug/deps/ablation_prompting-2061649714fb5117: crates/bench/src/bin/ablation_prompting.rs
+
+crates/bench/src/bin/ablation_prompting.rs:

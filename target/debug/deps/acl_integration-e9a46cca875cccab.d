@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/acl_integration-e9a46cca875cccab.d: crates/dpv/tests/acl_integration.rs
+
+/root/repo/target/debug/deps/acl_integration-e9a46cca875cccab: crates/dpv/tests/acl_integration.rs
+
+crates/dpv/tests/acl_integration.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-389b258132c3bf5e.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-389b258132c3bf5e: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_netrepro=/root/repo/target/debug/netrepro

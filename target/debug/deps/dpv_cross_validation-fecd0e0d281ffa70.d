@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpv_cross_validation-fecd0e0d281ffa70.d: tests/dpv_cross_validation.rs
+
+/root/repo/target/debug/deps/dpv_cross_validation-fecd0e0d281ffa70: tests/dpv_cross_validation.rs
+
+tests/dpv_cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-139947baf0306f26.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-139947baf0306f26: tests/end_to_end.rs
+
+tests/end_to_end.rs:

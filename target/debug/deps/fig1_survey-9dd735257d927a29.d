@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_survey-9dd735257d927a29.d: crates/bench/src/bin/fig1_survey.rs
+
+/root/repo/target/debug/deps/fig1_survey-9dd735257d927a29: crates/bench/src/bin/fig1_survey.rs
+
+crates/bench/src/bin/fig1_survey.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_comparisons-781b8a0d9971ed1c.d: crates/bench/src/bin/fig2_comparisons.rs
+
+/root/repo/target/debug/deps/fig2_comparisons-781b8a0d9971ed1c: crates/bench/src/bin/fig2_comparisons.rs
+
+crates/bench/src/bin/fig2_comparisons.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_rps-89729b223afd20f5.d: crates/bench/src/bin/fig3_rps.rs
+
+/root/repo/target/debug/deps/fig3_rps-89729b223afd20f5: crates/bench/src/bin/fig3_rps.rs
+
+crates/bench/src/bin/fig3_rps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_prompts-b0bbf59b326f85a4.d: crates/bench/src/bin/fig4_prompts.rs
+
+/root/repo/target/debug/deps/fig4_prompts-b0bbf59b326f85a4: crates/bench/src/bin/fig4_prompts.rs
+
+crates/bench/src/bin/fig4_prompts.rs:

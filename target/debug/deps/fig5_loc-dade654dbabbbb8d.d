@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_loc-dade654dbabbbb8d.d: crates/bench/src/bin/fig5_loc.rs
+
+/root/repo/target/debug/deps/fig5_loc-dade654dbabbbb8d: crates/bench/src/bin/fig5_loc.rs
+
+crates/bench/src/bin/fig5_loc.rs:

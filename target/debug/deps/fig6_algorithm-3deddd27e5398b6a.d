@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_algorithm-3deddd27e5398b6a.d: crates/bench/src/bin/fig6_algorithm.rs
+
+/root/repo/target/debug/deps/fig6_algorithm-3deddd27e5398b6a: crates/bench/src/bin/fig6_algorithm.rs
+
+crates/bench/src/bin/fig6_algorithm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/link_events-4af0a6cd9a4f54c5.d: crates/dpv/tests/link_events.rs
+
+/root/repo/target/debug/deps/link_events-4af0a6cd9a4f54c5: crates/dpv/tests/link_events.rs
+
+crates/dpv/tests/link_events.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netrepro-41db3a891c020aa6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnetrepro-41db3a891c020aa6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnetrepro-41db3a891c020aa6.rmeta: src/lib.rs
+
+src/lib.rs:

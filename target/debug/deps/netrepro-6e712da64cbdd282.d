@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netrepro-6e712da64cbdd282.d: src/lib.rs
+
+/root/repo/target/debug/deps/netrepro-6e712da64cbdd282: src/lib.rs
+
+src/lib.rs:

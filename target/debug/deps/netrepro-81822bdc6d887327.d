@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netrepro-81822bdc6d887327.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs
+
+/root/repo/target/debug/deps/netrepro-81822bdc6d887327: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:

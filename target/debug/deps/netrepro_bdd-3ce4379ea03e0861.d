@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netrepro_bdd-3ce4379ea03e0861.d: crates/bdd/src/lib.rs crates/bdd/src/builder.rs crates/bdd/src/dot.rs crates/bdd/src/manager.rs crates/bdd/src/quant.rs crates/bdd/src/node.rs crates/bdd/src/sat.rs
+
+/root/repo/target/debug/deps/netrepro_bdd-3ce4379ea03e0861: crates/bdd/src/lib.rs crates/bdd/src/builder.rs crates/bdd/src/dot.rs crates/bdd/src/manager.rs crates/bdd/src/quant.rs crates/bdd/src/node.rs crates/bdd/src/sat.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/builder.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/quant.rs:
+crates/bdd/src/node.rs:
+crates/bdd/src/sat.rs:

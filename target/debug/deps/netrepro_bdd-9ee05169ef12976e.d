@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netrepro_bdd-9ee05169ef12976e.d: crates/bdd/src/lib.rs crates/bdd/src/builder.rs crates/bdd/src/dot.rs crates/bdd/src/manager.rs crates/bdd/src/quant.rs crates/bdd/src/node.rs crates/bdd/src/sat.rs
+
+/root/repo/target/debug/deps/libnetrepro_bdd-9ee05169ef12976e.rlib: crates/bdd/src/lib.rs crates/bdd/src/builder.rs crates/bdd/src/dot.rs crates/bdd/src/manager.rs crates/bdd/src/quant.rs crates/bdd/src/node.rs crates/bdd/src/sat.rs
+
+/root/repo/target/debug/deps/libnetrepro_bdd-9ee05169ef12976e.rmeta: crates/bdd/src/lib.rs crates/bdd/src/builder.rs crates/bdd/src/dot.rs crates/bdd/src/manager.rs crates/bdd/src/quant.rs crates/bdd/src/node.rs crates/bdd/src/sat.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/builder.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/quant.rs:
+crates/bdd/src/node.rs:
+crates/bdd/src/sat.rs:

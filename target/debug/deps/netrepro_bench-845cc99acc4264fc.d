@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netrepro_bench-845cc99acc4264fc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnetrepro_bench-845cc99acc4264fc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnetrepro_bench-845cc99acc4264fc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netrepro_bench-a61000cd4e105be4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/netrepro_bench-a61000cd4e105be4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/netrepro_core-50c4c71137251ea8.d: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/diagnosis.rs crates/core/src/framework.rs crates/core/src/llm.rs crates/core/src/metrics.rs crates/core/src/paper.rs crates/core/src/prompt.rs crates/core/src/session.rs crates/core/src/student.rs crates/core/src/survey.rs crates/core/src/timeline.rs crates/core/src/transcript.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libnetrepro_core-50c4c71137251ea8.rlib: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/diagnosis.rs crates/core/src/framework.rs crates/core/src/llm.rs crates/core/src/metrics.rs crates/core/src/paper.rs crates/core/src/prompt.rs crates/core/src/session.rs crates/core/src/student.rs crates/core/src/survey.rs crates/core/src/timeline.rs crates/core/src/transcript.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libnetrepro_core-50c4c71137251ea8.rmeta: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/diagnosis.rs crates/core/src/framework.rs crates/core/src/llm.rs crates/core/src/metrics.rs crates/core/src/paper.rs crates/core/src/prompt.rs crates/core/src/session.rs crates/core/src/student.rs crates/core/src/survey.rs crates/core/src/timeline.rs crates/core/src/transcript.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/artifact.rs:
+crates/core/src/diagnosis.rs:
+crates/core/src/framework.rs:
+crates/core/src/llm.rs:
+crates/core/src/metrics.rs:
+crates/core/src/paper.rs:
+crates/core/src/prompt.rs:
+crates/core/src/session.rs:
+crates/core/src/student.rs:
+crates/core/src/survey.rs:
+crates/core/src/timeline.rs:
+crates/core/src/transcript.rs:
+crates/core/src/validate.rs:

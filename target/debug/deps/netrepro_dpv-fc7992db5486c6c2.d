@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/netrepro_dpv-fc7992db5486c6c2.d: crates/dpv/src/lib.rs crates/dpv/src/acl.rs crates/dpv/src/ap.rs crates/dpv/src/apkeep.rs crates/dpv/src/atoms.rs crates/dpv/src/dataset.rs crates/dpv/src/header.rs crates/dpv/src/network.rs crates/dpv/src/queries.rs crates/dpv/src/reach.rs crates/dpv/src/sim.rs
+
+/root/repo/target/debug/deps/netrepro_dpv-fc7992db5486c6c2: crates/dpv/src/lib.rs crates/dpv/src/acl.rs crates/dpv/src/ap.rs crates/dpv/src/apkeep.rs crates/dpv/src/atoms.rs crates/dpv/src/dataset.rs crates/dpv/src/header.rs crates/dpv/src/network.rs crates/dpv/src/queries.rs crates/dpv/src/reach.rs crates/dpv/src/sim.rs
+
+crates/dpv/src/lib.rs:
+crates/dpv/src/acl.rs:
+crates/dpv/src/ap.rs:
+crates/dpv/src/apkeep.rs:
+crates/dpv/src/atoms.rs:
+crates/dpv/src/dataset.rs:
+crates/dpv/src/header.rs:
+crates/dpv/src/network.rs:
+crates/dpv/src/queries.rs:
+crates/dpv/src/reach.rs:
+crates/dpv/src/sim.rs:

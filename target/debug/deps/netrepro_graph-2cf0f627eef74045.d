@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/netrepro_graph-2cf0f627eef74045.d: crates/graph/src/lib.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/gen.rs crates/graph/src/maxflow.rs crates/graph/src/partition.rs crates/graph/src/paths.rs crates/graph/src/traffic.rs
+
+/root/repo/target/debug/deps/netrepro_graph-2cf0f627eef74045: crates/graph/src/lib.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/gen.rs crates/graph/src/maxflow.rs crates/graph/src/partition.rs crates/graph/src/paths.rs crates/graph/src/traffic.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/cuts.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/maxflow.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/traffic.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/netrepro_graph-d2ad08b29e7af7cc.d: crates/graph/src/lib.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/gen.rs crates/graph/src/maxflow.rs crates/graph/src/partition.rs crates/graph/src/paths.rs crates/graph/src/traffic.rs
+
+/root/repo/target/debug/deps/libnetrepro_graph-d2ad08b29e7af7cc.rlib: crates/graph/src/lib.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/gen.rs crates/graph/src/maxflow.rs crates/graph/src/partition.rs crates/graph/src/paths.rs crates/graph/src/traffic.rs
+
+/root/repo/target/debug/deps/libnetrepro_graph-d2ad08b29e7af7cc.rmeta: crates/graph/src/lib.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/gen.rs crates/graph/src/maxflow.rs crates/graph/src/partition.rs crates/graph/src/paths.rs crates/graph/src/traffic.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/cuts.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/maxflow.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/traffic.rs:

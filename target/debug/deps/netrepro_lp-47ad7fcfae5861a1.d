@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/netrepro_lp-47ad7fcfae5861a1.d: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/duals.rs crates/lp/src/format.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/standard.rs
+
+/root/repo/target/debug/deps/libnetrepro_lp-47ad7fcfae5861a1.rlib: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/duals.rs crates/lp/src/format.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/standard.rs
+
+/root/repo/target/debug/deps/libnetrepro_lp-47ad7fcfae5861a1.rmeta: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/duals.rs crates/lp/src/format.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/standard.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/dense.rs:
+crates/lp/src/duals.rs:
+crates/lp/src/format.rs:
+crates/lp/src/model.rs:
+crates/lp/src/presolve.rs:
+crates/lp/src/revised.rs:
+crates/lp/src/standard.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/netrepro_lp-aa50b8fcb60ecd67.d: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/duals.rs crates/lp/src/format.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/standard.rs
+
+/root/repo/target/debug/deps/netrepro_lp-aa50b8fcb60ecd67: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/duals.rs crates/lp/src/format.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/standard.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/dense.rs:
+crates/lp/src/duals.rs:
+crates/lp/src/format.rs:
+crates/lp/src/model.rs:
+crates/lp/src/presolve.rs:
+crates/lp/src/revised.rs:
+crates/lp/src/standard.rs:

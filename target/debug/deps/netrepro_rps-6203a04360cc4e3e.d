@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netrepro_rps-6203a04360cc4e3e.d: crates/rps/src/lib.rs crates/rps/src/client.rs crates/rps/src/protocol.rs crates/rps/src/server.rs crates/rps/src/udp.rs
+
+/root/repo/target/debug/deps/netrepro_rps-6203a04360cc4e3e: crates/rps/src/lib.rs crates/rps/src/client.rs crates/rps/src/protocol.rs crates/rps/src/server.rs crates/rps/src/udp.rs
+
+crates/rps/src/lib.rs:
+crates/rps/src/client.rs:
+crates/rps/src/protocol.rs:
+crates/rps/src/server.rs:
+crates/rps/src/udp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netrepro_rps-e4ddd1b32df6434f.d: crates/rps/src/lib.rs crates/rps/src/client.rs crates/rps/src/protocol.rs crates/rps/src/server.rs crates/rps/src/udp.rs
+
+/root/repo/target/debug/deps/libnetrepro_rps-e4ddd1b32df6434f.rlib: crates/rps/src/lib.rs crates/rps/src/client.rs crates/rps/src/protocol.rs crates/rps/src/server.rs crates/rps/src/udp.rs
+
+/root/repo/target/debug/deps/libnetrepro_rps-e4ddd1b32df6434f.rmeta: crates/rps/src/lib.rs crates/rps/src/client.rs crates/rps/src/protocol.rs crates/rps/src/server.rs crates/rps/src/udp.rs
+
+crates/rps/src/lib.rs:
+crates/rps/src/client.rs:
+crates/rps/src/protocol.rs:
+crates/rps/src/server.rs:
+crates/rps/src/udp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/netrepro_te-f9b812c476aae8e9.d: crates/te/src/lib.rs crates/te/src/arrow.rs crates/te/src/baseline.rs crates/te/src/mcf.rs crates/te/src/ncflow.rs
+
+/root/repo/target/debug/deps/libnetrepro_te-f9b812c476aae8e9.rlib: crates/te/src/lib.rs crates/te/src/arrow.rs crates/te/src/baseline.rs crates/te/src/mcf.rs crates/te/src/ncflow.rs
+
+/root/repo/target/debug/deps/libnetrepro_te-f9b812c476aae8e9.rmeta: crates/te/src/lib.rs crates/te/src/arrow.rs crates/te/src/baseline.rs crates/te/src/mcf.rs crates/te/src/ncflow.rs
+
+crates/te/src/lib.rs:
+crates/te/src/arrow.rs:
+crates/te/src/baseline.rs:
+crates/te/src/mcf.rs:
+crates/te/src/ncflow.rs:

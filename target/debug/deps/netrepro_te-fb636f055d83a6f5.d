@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netrepro_te-fb636f055d83a6f5.d: crates/te/src/lib.rs crates/te/src/arrow.rs crates/te/src/baseline.rs crates/te/src/mcf.rs crates/te/src/ncflow.rs
+
+/root/repo/target/debug/deps/netrepro_te-fb636f055d83a6f5: crates/te/src/lib.rs crates/te/src/arrow.rs crates/te/src/baseline.rs crates/te/src/mcf.rs crates/te/src/ncflow.rs
+
+crates/te/src/lib.rs:
+crates/te/src/arrow.rs:
+crates/te/src/baseline.rs:
+crates/te/src/mcf.rs:
+crates/te/src/ncflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_scale-42363ec79e527582.d: crates/bench/src/bin/probe_scale.rs
+
+/root/repo/target/debug/deps/probe_scale-42363ec79e527582: crates/bench/src/bin/probe_scale.rs
+
+crates/bench/src/bin/probe_scale.rs:

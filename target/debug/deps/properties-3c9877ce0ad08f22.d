@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3c9877ce0ad08f22.d: crates/bdd/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3c9877ce0ad08f22: crates/bdd/tests/properties.rs
+
+crates/bdd/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b79eebeda3b07092.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b79eebeda3b07092: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_oracle-a1f4fc81211c04e8.d: crates/dpv/tests/sim_oracle.rs
+
+/root/repo/target/debug/deps/sim_oracle-a1f4fc81211c04e8: crates/dpv/tests/sim_oracle.rs
+
+crates/dpv/tests/sim_oracle.rs:

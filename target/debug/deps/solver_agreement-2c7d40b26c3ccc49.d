@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_agreement-2c7d40b26c3ccc49.d: crates/lp/tests/solver_agreement.rs
+
+/root/repo/target/debug/deps/solver_agreement-2c7d40b26c3ccc49: crates/lp/tests/solver_agreement.rs
+
+crates/lp/tests/solver_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_a_ncflow-d17e16af1b5de9ce.d: crates/bench/src/bin/table_a_ncflow.rs
+
+/root/repo/target/debug/deps/table_a_ncflow-d17e16af1b5de9ce: crates/bench/src/bin/table_a_ncflow.rs
+
+crates/bench/src/bin/table_a_ncflow.rs:

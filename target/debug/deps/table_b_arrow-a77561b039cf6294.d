@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_b_arrow-a77561b039cf6294.d: crates/bench/src/bin/table_b_arrow.rs
+
+/root/repo/target/debug/deps/table_b_arrow-a77561b039cf6294: crates/bench/src/bin/table_b_arrow.rs
+
+crates/bench/src/bin/table_b_arrow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_c_apkeep-e7e75f010f18b5fd.d: crates/bench/src/bin/table_c_apkeep.rs
+
+/root/repo/target/debug/deps/table_c_apkeep-e7e75f010f18b5fd: crates/bench/src/bin/table_c_apkeep.rs
+
+crates/bench/src/bin/table_c_apkeep.rs:

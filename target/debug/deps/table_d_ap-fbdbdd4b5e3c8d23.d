@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_d_ap-fbdbdd4b5e3c8d23.d: crates/bench/src/bin/table_d_ap.rs
+
+/root/repo/target/debug/deps/table_d_ap-fbdbdd4b5e3c8d23: crates/bench/src/bin/table_d_ap.rs
+
+crates/bench/src/bin/table_d_ap.rs:

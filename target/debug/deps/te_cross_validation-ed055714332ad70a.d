@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/te_cross_validation-ed055714332ad70a.d: tests/te_cross_validation.rs
+
+/root/repo/target/debug/deps/te_cross_validation-ed055714332ad70a: tests/te_cross_validation.rs
+
+tests/te_cross_validation.rs:

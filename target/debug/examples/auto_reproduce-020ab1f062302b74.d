@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/auto_reproduce-020ab1f062302b74.d: examples/auto_reproduce.rs
+
+/root/repo/target/debug/examples/auto_reproduce-020ab1f062302b74: examples/auto_reproduce.rs
+
+examples/auto_reproduce.rs:

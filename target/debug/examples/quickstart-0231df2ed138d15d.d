@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0231df2ed138d15d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0231df2ed138d15d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reproduce_ncflow-2b8896398ccd56ce.d: examples/reproduce_ncflow.rs
+
+/root/repo/target/debug/examples/reproduce_ncflow-2b8896398ccd56ce: examples/reproduce_ncflow.rs
+
+examples/reproduce_ncflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rps_demo-f4af0f20c82cc831.d: examples/rps_demo.rs
+
+/root/repo/target/debug/examples/rps_demo-f4af0f20c82cc831: examples/rps_demo.rs
+
+examples/rps_demo.rs:

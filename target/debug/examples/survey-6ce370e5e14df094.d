@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/survey-6ce370e5e14df094.d: examples/survey.rs
+
+/root/repo/target/debug/examples/survey-6ce370e5e14df094: examples/survey.rs
+
+examples/survey.rs:

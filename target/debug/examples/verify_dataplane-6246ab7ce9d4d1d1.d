@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_dataplane-6246ab7ce9d4d1d1.d: examples/verify_dataplane.rs
+
+/root/repo/target/debug/examples/verify_dataplane-6246ab7ce9d4d1d1: examples/verify_dataplane.rs
+
+examples/verify_dataplane.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_clusters-b7ccc92e900a8bd7.d: crates/bench/src/bin/ablation_clusters.rs
+
+/root/repo/target/release/deps/ablation_clusters-b7ccc92e900a8bd7: crates/bench/src/bin/ablation_clusters.rs
+
+crates/bench/src/bin/ablation_clusters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_prompting-3b81f87fda5848fc.d: crates/bench/src/bin/ablation_prompting.rs
+
+/root/repo/target/release/deps/ablation_prompting-3b81f87fda5848fc: crates/bench/src/bin/ablation_prompting.rs
+
+crates/bench/src/bin/ablation_prompting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_survey-61b87c6a81a7e841.d: crates/bench/src/bin/fig1_survey.rs
+
+/root/repo/target/release/deps/fig1_survey-61b87c6a81a7e841: crates/bench/src/bin/fig1_survey.rs
+
+crates/bench/src/bin/fig1_survey.rs:

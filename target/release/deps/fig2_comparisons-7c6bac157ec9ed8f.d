@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_comparisons-7c6bac157ec9ed8f.d: crates/bench/src/bin/fig2_comparisons.rs
+
+/root/repo/target/release/deps/fig2_comparisons-7c6bac157ec9ed8f: crates/bench/src/bin/fig2_comparisons.rs
+
+crates/bench/src/bin/fig2_comparisons.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_rps-f884f517cbcd8d4d.d: crates/bench/src/bin/fig3_rps.rs
+
+/root/repo/target/release/deps/fig3_rps-f884f517cbcd8d4d: crates/bench/src/bin/fig3_rps.rs
+
+crates/bench/src/bin/fig3_rps.rs:

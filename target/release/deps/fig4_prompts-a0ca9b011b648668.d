@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_prompts-a0ca9b011b648668.d: crates/bench/src/bin/fig4_prompts.rs
+
+/root/repo/target/release/deps/fig4_prompts-a0ca9b011b648668: crates/bench/src/bin/fig4_prompts.rs
+
+crates/bench/src/bin/fig4_prompts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_loc-f33a1bf1179148a3.d: crates/bench/src/bin/fig5_loc.rs
+
+/root/repo/target/release/deps/fig5_loc-f33a1bf1179148a3: crates/bench/src/bin/fig5_loc.rs
+
+crates/bench/src/bin/fig5_loc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_algorithm-d09ca1ed1b54a296.d: crates/bench/src/bin/fig6_algorithm.rs
+
+/root/repo/target/release/deps/fig6_algorithm-d09ca1ed1b54a296: crates/bench/src/bin/fig6_algorithm.rs
+
+crates/bench/src/bin/fig6_algorithm.rs:

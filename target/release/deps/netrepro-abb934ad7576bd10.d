@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netrepro-abb934ad7576bd10.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs
+
+/root/repo/target/release/deps/netrepro-abb934ad7576bd10: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:

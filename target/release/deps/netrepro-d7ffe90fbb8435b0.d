@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netrepro-d7ffe90fbb8435b0.d: src/lib.rs
+
+/root/repo/target/release/deps/libnetrepro-d7ffe90fbb8435b0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnetrepro-d7ffe90fbb8435b0.rmeta: src/lib.rs
+
+src/lib.rs:

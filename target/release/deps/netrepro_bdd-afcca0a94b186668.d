@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/netrepro_bdd-afcca0a94b186668.d: crates/bdd/src/lib.rs crates/bdd/src/builder.rs crates/bdd/src/dot.rs crates/bdd/src/manager.rs crates/bdd/src/quant.rs crates/bdd/src/node.rs crates/bdd/src/sat.rs
+
+/root/repo/target/release/deps/libnetrepro_bdd-afcca0a94b186668.rlib: crates/bdd/src/lib.rs crates/bdd/src/builder.rs crates/bdd/src/dot.rs crates/bdd/src/manager.rs crates/bdd/src/quant.rs crates/bdd/src/node.rs crates/bdd/src/sat.rs
+
+/root/repo/target/release/deps/libnetrepro_bdd-afcca0a94b186668.rmeta: crates/bdd/src/lib.rs crates/bdd/src/builder.rs crates/bdd/src/dot.rs crates/bdd/src/manager.rs crates/bdd/src/quant.rs crates/bdd/src/node.rs crates/bdd/src/sat.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/builder.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/quant.rs:
+crates/bdd/src/node.rs:
+crates/bdd/src/sat.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netrepro_bench-8339f447a54a565d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnetrepro_bench-8339f447a54a565d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnetrepro_bench-8339f447a54a565d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/netrepro_core-e9ac2eccfbe0bdad.d: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/diagnosis.rs crates/core/src/framework.rs crates/core/src/llm.rs crates/core/src/metrics.rs crates/core/src/paper.rs crates/core/src/prompt.rs crates/core/src/session.rs crates/core/src/student.rs crates/core/src/survey.rs crates/core/src/timeline.rs crates/core/src/transcript.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libnetrepro_core-e9ac2eccfbe0bdad.rlib: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/diagnosis.rs crates/core/src/framework.rs crates/core/src/llm.rs crates/core/src/metrics.rs crates/core/src/paper.rs crates/core/src/prompt.rs crates/core/src/session.rs crates/core/src/student.rs crates/core/src/survey.rs crates/core/src/timeline.rs crates/core/src/transcript.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libnetrepro_core-e9ac2eccfbe0bdad.rmeta: crates/core/src/lib.rs crates/core/src/artifact.rs crates/core/src/diagnosis.rs crates/core/src/framework.rs crates/core/src/llm.rs crates/core/src/metrics.rs crates/core/src/paper.rs crates/core/src/prompt.rs crates/core/src/session.rs crates/core/src/student.rs crates/core/src/survey.rs crates/core/src/timeline.rs crates/core/src/transcript.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/artifact.rs:
+crates/core/src/diagnosis.rs:
+crates/core/src/framework.rs:
+crates/core/src/llm.rs:
+crates/core/src/metrics.rs:
+crates/core/src/paper.rs:
+crates/core/src/prompt.rs:
+crates/core/src/session.rs:
+crates/core/src/student.rs:
+crates/core/src/survey.rs:
+crates/core/src/timeline.rs:
+crates/core/src/transcript.rs:
+crates/core/src/validate.rs:

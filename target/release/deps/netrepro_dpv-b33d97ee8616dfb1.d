@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/netrepro_dpv-b33d97ee8616dfb1.d: crates/dpv/src/lib.rs crates/dpv/src/acl.rs crates/dpv/src/ap.rs crates/dpv/src/apkeep.rs crates/dpv/src/atoms.rs crates/dpv/src/dataset.rs crates/dpv/src/header.rs crates/dpv/src/network.rs crates/dpv/src/queries.rs crates/dpv/src/reach.rs crates/dpv/src/sim.rs
+
+/root/repo/target/release/deps/libnetrepro_dpv-b33d97ee8616dfb1.rlib: crates/dpv/src/lib.rs crates/dpv/src/acl.rs crates/dpv/src/ap.rs crates/dpv/src/apkeep.rs crates/dpv/src/atoms.rs crates/dpv/src/dataset.rs crates/dpv/src/header.rs crates/dpv/src/network.rs crates/dpv/src/queries.rs crates/dpv/src/reach.rs crates/dpv/src/sim.rs
+
+/root/repo/target/release/deps/libnetrepro_dpv-b33d97ee8616dfb1.rmeta: crates/dpv/src/lib.rs crates/dpv/src/acl.rs crates/dpv/src/ap.rs crates/dpv/src/apkeep.rs crates/dpv/src/atoms.rs crates/dpv/src/dataset.rs crates/dpv/src/header.rs crates/dpv/src/network.rs crates/dpv/src/queries.rs crates/dpv/src/reach.rs crates/dpv/src/sim.rs
+
+crates/dpv/src/lib.rs:
+crates/dpv/src/acl.rs:
+crates/dpv/src/ap.rs:
+crates/dpv/src/apkeep.rs:
+crates/dpv/src/atoms.rs:
+crates/dpv/src/dataset.rs:
+crates/dpv/src/header.rs:
+crates/dpv/src/network.rs:
+crates/dpv/src/queries.rs:
+crates/dpv/src/reach.rs:
+crates/dpv/src/sim.rs:

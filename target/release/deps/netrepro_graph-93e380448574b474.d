@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/netrepro_graph-93e380448574b474.d: crates/graph/src/lib.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/gen.rs crates/graph/src/maxflow.rs crates/graph/src/partition.rs crates/graph/src/paths.rs crates/graph/src/traffic.rs
+
+/root/repo/target/release/deps/libnetrepro_graph-93e380448574b474.rlib: crates/graph/src/lib.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/gen.rs crates/graph/src/maxflow.rs crates/graph/src/partition.rs crates/graph/src/paths.rs crates/graph/src/traffic.rs
+
+/root/repo/target/release/deps/libnetrepro_graph-93e380448574b474.rmeta: crates/graph/src/lib.rs crates/graph/src/cuts.rs crates/graph/src/digraph.rs crates/graph/src/gen.rs crates/graph/src/maxflow.rs crates/graph/src/partition.rs crates/graph/src/paths.rs crates/graph/src/traffic.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/cuts.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/maxflow.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/traffic.rs:

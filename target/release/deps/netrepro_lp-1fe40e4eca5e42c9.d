@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/netrepro_lp-1fe40e4eca5e42c9.d: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/duals.rs crates/lp/src/format.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/standard.rs
+
+/root/repo/target/release/deps/libnetrepro_lp-1fe40e4eca5e42c9.rlib: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/duals.rs crates/lp/src/format.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/standard.rs
+
+/root/repo/target/release/deps/libnetrepro_lp-1fe40e4eca5e42c9.rmeta: crates/lp/src/lib.rs crates/lp/src/dense.rs crates/lp/src/duals.rs crates/lp/src/format.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/revised.rs crates/lp/src/standard.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/dense.rs:
+crates/lp/src/duals.rs:
+crates/lp/src/format.rs:
+crates/lp/src/model.rs:
+crates/lp/src/presolve.rs:
+crates/lp/src/revised.rs:
+crates/lp/src/standard.rs:

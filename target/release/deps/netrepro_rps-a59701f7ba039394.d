@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netrepro_rps-a59701f7ba039394.d: crates/rps/src/lib.rs crates/rps/src/client.rs crates/rps/src/protocol.rs crates/rps/src/server.rs crates/rps/src/udp.rs
+
+/root/repo/target/release/deps/libnetrepro_rps-a59701f7ba039394.rlib: crates/rps/src/lib.rs crates/rps/src/client.rs crates/rps/src/protocol.rs crates/rps/src/server.rs crates/rps/src/udp.rs
+
+/root/repo/target/release/deps/libnetrepro_rps-a59701f7ba039394.rmeta: crates/rps/src/lib.rs crates/rps/src/client.rs crates/rps/src/protocol.rs crates/rps/src/server.rs crates/rps/src/udp.rs
+
+crates/rps/src/lib.rs:
+crates/rps/src/client.rs:
+crates/rps/src/protocol.rs:
+crates/rps/src/server.rs:
+crates/rps/src/udp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/netrepro_te-28e86089942b3e58.d: crates/te/src/lib.rs crates/te/src/arrow.rs crates/te/src/baseline.rs crates/te/src/mcf.rs crates/te/src/ncflow.rs
+
+/root/repo/target/release/deps/libnetrepro_te-28e86089942b3e58.rlib: crates/te/src/lib.rs crates/te/src/arrow.rs crates/te/src/baseline.rs crates/te/src/mcf.rs crates/te/src/ncflow.rs
+
+/root/repo/target/release/deps/libnetrepro_te-28e86089942b3e58.rmeta: crates/te/src/lib.rs crates/te/src/arrow.rs crates/te/src/baseline.rs crates/te/src/mcf.rs crates/te/src/ncflow.rs
+
+crates/te/src/lib.rs:
+crates/te/src/arrow.rs:
+crates/te/src/baseline.rs:
+crates/te/src/mcf.rs:
+crates/te/src/ncflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_scale-ff97af41f9a6e83a.d: crates/bench/src/bin/probe_scale.rs
+
+/root/repo/target/release/deps/probe_scale-ff97af41f9a6e83a: crates/bench/src/bin/probe_scale.rs
+
+crates/bench/src/bin/probe_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_a_ncflow-2071ee6e4ebebc2e.d: crates/bench/src/bin/table_a_ncflow.rs
+
+/root/repo/target/release/deps/table_a_ncflow-2071ee6e4ebebc2e: crates/bench/src/bin/table_a_ncflow.rs
+
+crates/bench/src/bin/table_a_ncflow.rs:

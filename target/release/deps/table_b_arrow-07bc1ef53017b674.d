@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_b_arrow-07bc1ef53017b674.d: crates/bench/src/bin/table_b_arrow.rs
+
+/root/repo/target/release/deps/table_b_arrow-07bc1ef53017b674: crates/bench/src/bin/table_b_arrow.rs
+
+crates/bench/src/bin/table_b_arrow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_c_apkeep-f52dddfbd0447ac0.d: crates/bench/src/bin/table_c_apkeep.rs
+
+/root/repo/target/release/deps/table_c_apkeep-f52dddfbd0447ac0: crates/bench/src/bin/table_c_apkeep.rs
+
+crates/bench/src/bin/table_c_apkeep.rs:

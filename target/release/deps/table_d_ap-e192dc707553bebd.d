@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_d_ap-e192dc707553bebd.d: crates/bench/src/bin/table_d_ap.rs
+
+/root/repo/target/release/deps/table_d_ap-e192dc707553bebd: crates/bench/src/bin/table_d_ap.rs
+
+crates/bench/src/bin/table_d_ap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_scan-25f182f7eaebfa53.d: examples/seed_scan.rs
+
+/root/repo/target/release/examples/seed_scan-25f182f7eaebfa53: examples/seed_scan.rs
+
+examples/seed_scan.rs:

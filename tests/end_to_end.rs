@@ -33,7 +33,7 @@ fn participant_a_reproduced_is_slower_on_mid_size_instances() {
 
 #[test]
 fn participant_b_arrow_formulations_diverge_under_large_cuts() {
-    let mut te = te_instance(&TopologySpec::new("OpticalA", 16, 2123), 10, 3);
+    let mut te = te_instance(&TopologySpec::new("OpticalA", 16, 2023), 10, 3);
     te.tm.scale(4.0);
     let scenarios = multi_fiber_scenarios(&te, 3, 3);
     let inst = ArrowInstance { te, scenarios, restoration_fraction: 0.5 };
