@@ -57,6 +57,16 @@ pub enum BddError {
     },
     /// A node reference did not denote a live node.
     InvalidRef(Ref),
+    /// The node table outgrew the manager's configured node cap. The
+    /// manager stays usable; callers absorb the fault by raising the
+    /// cap (see [`BddManager::set_node_cap`]) and rebuilding, or
+    /// surface this as a typed failure instead of aborting.
+    TableExhausted {
+        /// Allocated (non-free) nodes when the cap was crossed.
+        nodes: usize,
+        /// The configured cap.
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for BddError {
@@ -66,6 +76,9 @@ impl std::fmt::Display for BddError {
                 write!(f, "variable {var} out of range (manager has {count} variables)")
             }
             BddError::InvalidRef(r) => write!(f, "invalid BDD reference {r:?}"),
+            BddError::TableExhausted { nodes, cap } => {
+                write!(f, "BDD node table exhausted: {nodes} nodes exceed cap {cap}")
+            }
         }
     }
 }

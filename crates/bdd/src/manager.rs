@@ -54,6 +54,7 @@ pub struct BddManager {
     op_cache: HashMap<(Op, u32, u32), u32>,
     not_cache: HashMap<u32, u32>,
     stats: ManagerStats,
+    node_cap: Option<usize>,
 }
 
 impl BddManager {
@@ -67,6 +68,47 @@ impl BddManager {
             op_cache: HashMap::new(),
             not_cache: HashMap::new(),
             stats: ManagerStats::default(),
+            node_cap: None,
+        }
+    }
+
+    /// Like [`BddManager::new`], but with a soft node-table cap:
+    /// operations keep working past the cap (they never abort
+    /// mid-recursion), and [`BddManager::check_capacity`] reports a
+    /// typed [`BddError::TableExhausted`] once the cap is crossed so
+    /// the caller can stop, raise the cap and retry.
+    pub fn with_node_cap(num_vars: u32, profile: EngineProfile, cap: usize) -> Self {
+        let mut m = Self::new(num_vars, profile);
+        m.node_cap = Some(cap);
+        m
+    }
+
+    /// The configured node cap, if any.
+    pub fn node_cap(&self) -> Option<usize> {
+        self.node_cap
+    }
+
+    /// Replace the node cap (`None` removes it). Raising the cap after
+    /// a [`BddError::TableExhausted`] is the growth-retry absorption
+    /// path.
+    pub fn set_node_cap(&mut self, cap: Option<usize>) {
+        self.node_cap = cap;
+    }
+
+    /// Whether the table has outgrown the configured cap. Counts live
+    /// (allocated, non-terminal) nodes, so a [`BddManager::gc`] that
+    /// reclaims enough garbage clears the condition.
+    pub fn exhausted(&self) -> bool {
+        self.node_cap.is_some_and(|cap| self.table.live_count() > cap)
+    }
+
+    /// `Err(TableExhausted)` once the table has outgrown the cap.
+    pub fn check_capacity(&self) -> Result<(), crate::BddError> {
+        match self.node_cap {
+            Some(cap) if self.table.live_count() > cap => {
+                Err(crate::BddError::TableExhausted { nodes: self.table.live_count(), cap })
+            }
+            _ => Ok(()),
         }
     }
 
@@ -285,9 +327,7 @@ impl BddManager {
                     Some(0)
                 } else if a == 1 {
                     Some(b)
-                } else if b == 1 {
-                    Some(a)
-                } else if a == b {
+                } else if b == 1 || a == b {
                     Some(a)
                 } else {
                     None
@@ -298,9 +338,7 @@ impl BddManager {
                     Some(1)
                 } else if a == 0 {
                     Some(b)
-                } else if b == 0 {
-                    Some(a)
-                } else if a == b {
+                } else if b == 0 || a == b {
                     Some(a)
                 } else {
                     None
@@ -551,5 +589,40 @@ mod tests {
         let mut m = mgr();
         let a = m.var(0);
         m.ref_dec(a);
+    }
+
+    #[test]
+    fn node_cap_reports_exhaustion() {
+        let mut m = BddManager::with_node_cap(8, EngineProfile::Cached, 3);
+        assert_eq!(m.node_cap(), Some(3));
+        assert!(m.check_capacity().is_ok());
+        let mut f = TRUE;
+        for i in 0..8 {
+            let v = m.var(i);
+            f = m.and(f, v);
+        }
+        assert!(m.exhausted());
+        match m.check_capacity() {
+            Err(crate::BddError::TableExhausted { nodes, cap }) => {
+                assert!(nodes > cap);
+                assert_eq!(cap, 3);
+            }
+            other => panic!("expected TableExhausted, got {other:?}"),
+        }
+        // Absorption path: raise the cap and the manager keeps working.
+        m.set_node_cap(Some(1 << 20));
+        assert!(!m.exhausted());
+        assert!(m.check_capacity().is_ok());
+    }
+
+    #[test]
+    fn uncapped_manager_never_exhausts() {
+        let mut m = mgr();
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.and(a, b);
+        assert_eq!(m.node_cap(), None);
+        assert!(!m.exhausted());
+        assert!(m.check_capacity().is_ok());
     }
 }

@@ -129,8 +129,8 @@ impl NodeTable {
             stack.push(n.high);
         }
         let mut reclaimed = 0;
-        for i in 2..self.nodes.len() {
-            if self.nodes[i].alive && !marked[i] {
+        for (i, &kept) in marked.iter().enumerate().skip(2) {
+            if self.nodes[i].alive && !kept {
                 let n = self.nodes[i];
                 self.unique.remove(&(n.var, n.low, n.high));
                 self.nodes[i].alive = false;

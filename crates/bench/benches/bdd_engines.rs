@@ -34,7 +34,7 @@ fn bench_raw_ops(c: &mut Criterion) {
                 let mut m = BddManager::new(24, profile);
                 let mut acc = netrepro_bdd::TRUE;
                 for i in 0..200u64 {
-                    let p = m.field_prefix(0, 24, (i * 37) % (1 << 12) << 12, 12);
+                    let p = m.field_prefix(0, 24, ((i * 37) % (1 << 12)) << 12, 12);
                     acc = m.diff(acc, p);
                 }
                 m.sat_count(acc)

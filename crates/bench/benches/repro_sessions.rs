@@ -29,7 +29,8 @@ fn bench_sessions(c: &mut Criterion) {
 
 fn bench_strategy_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("strategy_ablation");
-    let variants: Vec<(&str, Box<dyn Fn() -> Participant>)> = vec![
+    type Variant<'a> = (&'a str, Box<dyn Fn() -> Participant>);
+    let variants: Vec<Variant> = vec![
         ("preset_pseudocode_first", Box::new(|| Participant::preset(TargetSystem::NcFlow))),
         (
             "modular_text_only",

@@ -17,7 +17,8 @@ fn main() {
         "Ablation prompting",
         "strategy outcomes on NCFlow, mean over 30 seeds",
     );
-    let variants: Vec<(&str, Box<dyn Fn() -> Participant>)> = vec![
+    type Variant<'a> = (&'a str, Box<dyn Fn() -> Participant>);
+    let variants: Vec<Variant> = vec![
         (
             "monolithic-start (paper)",
             Box::new(|| Participant::preset(TargetSystem::NcFlow)),

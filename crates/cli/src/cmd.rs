@@ -2,13 +2,14 @@
 
 use crate::args::{ArgError, Args};
 use netrepro_bdd::EngineProfile;
-use netrepro_core::diagnosis::{diagnose_dpv, diagnose_te};
+use netrepro_core::diagnosis::{diagnose_dpv, diagnose_resilience, diagnose_te};
+use netrepro_core::fault::FaultOutcome;
 use netrepro_core::framework::AutoEngineer;
 use netrepro_core::paper::TargetSystem;
 use netrepro_core::student::Participant;
 use netrepro_core::survey::{build_corpus, SurveyStats};
 use netrepro_core::validate as val;
-use netrepro_core::ReproductionSession;
+use netrepro_core::{FaultInjector, FaultPlan, ReproductionSession};
 use netrepro_dpv::ap::ApVerifier;
 use netrepro_dpv::dataset::{generate, DatasetOpts};
 use netrepro_dpv::header::HeaderLayout;
@@ -34,7 +35,8 @@ commands:
   dpv       [--nodes N] [--width W] [--faults F] [--seed N]
             [--check loops|blackholes|reach] [--src A --dst B]
   session   [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--auto]
-  validate  [--participant a|b|c|d] [--seed N]
+            [--faults none|light|heavy|chaos]
+  validate  [--participant a|b|c|d] [--seed N] [--faults none|light|heavy|chaos]
   rps       serve [--addr H:P] | play [--addr H:P] [--moves RPSR...]
 ";
 
@@ -223,6 +225,59 @@ pub fn dpv(a: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Build a fault injector from `--faults <profile>` (disabled when the
+/// flag is absent). The plan is seeded independently of the workload
+/// seed so `--seed` sweeps keep the same fault schedule.
+fn faults_from(a: &Args, seed: u64) -> Result<FaultInjector, ArgError> {
+    match a.get("faults") {
+        Some(spec) => Ok(FaultPlan::parse(spec, seed).map_err(ArgError)?.injector()),
+        None => Ok(FaultInjector::disabled()),
+    }
+}
+
+/// Print the resilience ledger after a fault-injected run: headline
+/// counters, the per-site breakdown, the deterministic trace, and the
+/// trust diagnosis.
+fn print_resilience(faults: &FaultInjector) {
+    if !faults.enabled() {
+        return;
+    }
+    let r = faults.report();
+    println!(
+        "faults ({} profile, seed {}): {} injected, {} absorbed, {} escaped ({:.0}% absorption)",
+        r.profile,
+        r.seed,
+        r.injected,
+        r.absorbed,
+        r.escaped,
+        100.0 * r.absorption_rate()
+    );
+    for s in &r.by_site {
+        if s.injected > 0 {
+            println!(
+                "  {:<12} {:>3} injected  {:>3} absorbed  {:>3} escaped",
+                s.site, s.injected, s.absorbed, s.escaped
+            );
+        }
+    }
+    let trace: Vec<String> = r
+        .trace
+        .iter()
+        .map(|e| {
+            let mark = match e.outcome {
+                FaultOutcome::Absorbed => "+",
+                FaultOutcome::Escaped => "!",
+            };
+            format!("{}{}@{}", mark, e.kind.name(), e.site.name())
+        })
+        .collect();
+    if !trace.is_empty() {
+        println!("fault trace: {}", trace.join(" "));
+    }
+    let d = diagnose_resilience(&r);
+    println!("resilience diagnosis: {:?} — {}", d.cause, d.evidence);
+}
+
 fn system_from(a: &Args) -> Result<TargetSystem, ArgError> {
     match a.get("system").unwrap_or("ncflow") {
         "ncflow" => Ok(TargetSystem::NcFlow),
@@ -240,8 +295,9 @@ fn system_from(a: &Args) -> Result<TargetSystem, ArgError> {
 pub fn session(a: &Args) -> CmdResult {
     let system = system_from(a)?;
     let seed: u64 = a.get_or("seed", 2023)?;
+    let mut faults = faults_from(a, seed)?;
     if a.has("auto") {
-        let attempts = AutoEngineer::default().run(system, seed);
+        let attempts = AutoEngineer::default().run_with_faults(system, seed, &mut faults);
         for (i, at) in attempts.iter().enumerate() {
             println!(
                 "attempt {} ({:?}): {} prompts, {} words, {} LoC, accepted={}",
@@ -253,9 +309,10 @@ pub fn session(a: &Args) -> CmdResult {
                 at.accepted
             );
         }
+        print_resilience(&faults);
         return Ok(());
     }
-    let r = ReproductionSession::new(Participant::preset(system), seed).run();
+    let r = ReproductionSession::new(Participant::preset(system), seed).run_with_faults(&mut faults);
     println!(
         "participant {} reproducing {}: {} prompts, {} words",
         r.participant,
@@ -270,16 +327,19 @@ pub fn session(a: &Args) -> CmdResult {
         (100.0 * r.artifact.loc_ratio()).round()
     );
     println!("residual defects: {:?}", r.residual_defects);
+    print_resilience(&faults);
     Ok(())
 }
 
 /// `netrepro validate`
 pub fn validate(a: &Args) -> CmdResult {
     let seed: u64 = a.get_or("seed", 2023)?;
+    let mut faults = faults_from(a, seed)?;
     match a.get("participant").unwrap_or("a") {
         "a" => {
             let inst = val::te_instance(&TopologySpec::new("CRL", 33, seed), 100, 4);
-            let v = val::validate_ncflow(&inst).map_err(|e| ArgError(e.to_string()))?;
+            let v = val::validate_ncflow_with_faults(&inst, &mut faults)
+                .map_err(|e| ArgError(e.to_string()))?;
             let d = diagnose_te(&v);
             println!(
                 "NCFlow on {}: obj diff {:.3}%, latency {:?} vs {:?} ({:.1}x)",
@@ -296,7 +356,8 @@ pub fn validate(a: &Args) -> CmdResult {
             te.tm.scale(4.0);
             let scenarios = multi_fiber_scenarios(&te, 3, 3);
             let inst = ArrowInstance { te, scenarios, restoration_fraction: 0.5 };
-            let v = val::validate_arrow(&inst).map_err(|e| ArgError(e.to_string()))?;
+            let v = val::validate_arrow_with_faults(&inst, &mut faults)
+                .map_err(|e| ArgError(e.to_string()))?;
             let d = diagnose_te(&v);
             println!(
                 "ARROW on {}: committed {} (open) vs {} (faithful), diff {:.1}%",
@@ -309,7 +370,7 @@ pub fn validate(a: &Args) -> CmdResult {
         }
         "c" => {
             let ds = val::dpv_dataset("Internet2", 9, 12, seed);
-            let v = val::validate_apkeep(&ds, "Internet2");
+            let v = val::validate_apkeep_with_faults(&ds, "Internet2", &mut faults);
             let d = diagnose_dpv(&v);
             println!(
                 "APKeep on {}: atoms {} vs {} (equal={})",
@@ -320,7 +381,7 @@ pub fn validate(a: &Args) -> CmdResult {
         "d" => {
             let ds = val::dpv_dataset("Purdue", 18, 14, seed);
             let queries = netrepro_graph::gen::sample_pairs(&ds.network.graph, 5, seed + 7);
-            let v = val::validate_ap(&ds, "Purdue", &queries, 100_000);
+            let v = val::validate_ap_with_faults(&ds, "Purdue", &queries, 100_000, &mut faults);
             let d = diagnose_dpv(&v);
             println!(
                 "AP on {}: atoms {} vs {}; pred {:.1}x; verify {:.0}x (equal={})",
@@ -337,6 +398,7 @@ pub fn validate(a: &Args) -> CmdResult {
             return Err(ArgError(format!("--participant must be a|b|c|d, got '{other}'")))
         }
     }
+    print_resilience(&faults);
     Ok(())
 }
 

@@ -8,7 +8,8 @@
 //! netrepro dpv      [--nodes N] [--width W] [--faults F] [--seed N]
 //!                   [--check loops|blackholes|reach] [--src A --dst B]
 //! netrepro session  [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--auto]
-//! netrepro validate [--participant a|b|c|d] [--seed N]
+//!                   [--faults none|light|heavy|chaos]
+//! netrepro validate [--participant a|b|c|d] [--seed N] [--faults none|light|heavy|chaos]
 //! netrepro rps      serve [--addr HOST:PORT] | play [--addr HOST:PORT] [--moves RPS...]
 //! ```
 //!

@@ -69,6 +69,42 @@ fn session_runs_deterministically() {
 }
 
 #[test]
+fn session_rejects_unknown_fault_profile() {
+    let (_, stderr, ok) = run(&["session", "--faults", "bogus"]);
+    assert!(!ok, "unknown profile must fail");
+    assert!(stderr.contains("unknown fault profile 'bogus'"), "{stderr}");
+    assert!(stderr.contains("none|light|heavy|chaos"), "{stderr}");
+}
+
+#[test]
+fn session_fault_trace_is_deterministic() {
+    let args = ["session", "--system", "ncflow", "--seed", "11", "--faults", "heavy"];
+    let (a, _, ok1) = run(&args);
+    let (b, _, ok2) = run(&args);
+    assert!(ok1 && ok2, "{a}");
+    assert_eq!(a, b, "same plan must print the same fault trace");
+    assert!(a.contains("fault trace:"), "{a}");
+    assert!(a.contains("resilience diagnosis:"), "{a}");
+}
+
+#[test]
+fn none_profile_matches_unfaulted_output() {
+    let (plain, _, ok1) = run(&["session", "--system", "arrow", "--seed", "5"]);
+    let (none, _, ok2) =
+        run(&["session", "--system", "arrow", "--seed", "5", "--faults", "none"]);
+    assert!(ok1 && ok2);
+    assert_eq!(plain, none, "--faults none must be byte-identical to no flag");
+}
+
+#[test]
+fn validate_with_chaos_faults_still_diagnoses() {
+    let (stdout, _, ok) = run(&["validate", "--participant", "a", "--faults", "chaos"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("diagnosis:"), "{stdout}");
+    assert!(stdout.contains("resilience diagnosis:"), "{stdout}");
+}
+
+#[test]
 fn validate_c_is_faithful() {
     let (stdout, _, ok) = run(&["validate", "--participant", "c"]);
     assert!(ok, "{stdout}");

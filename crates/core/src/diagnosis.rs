@@ -128,6 +128,49 @@ pub fn diagnose_dpv(v: &DpvValidation) -> Diagnosis {
     }
 }
 
+/// Diagnose a resilience report: before comparing prototypes, decide
+/// whether the run the numbers came from can be trusted. A run whose
+/// injected faults were all absorbed is as comparable as a fault-free
+/// one (the mechanisms replayed/degraded their way back to a complete
+/// artifact); any escaped fault makes the comparison unsound, exactly
+/// like participant-level nondeterminism does.
+pub fn diagnose_resilience(r: &crate::fault::ResilienceReport) -> Diagnosis {
+    if r.injected == 0 {
+        return Diagnosis {
+            cause: RootCause::Faithful,
+            evidence: format!(
+                "no faults fired under profile '{}' (seed {}): the run is a clean baseline",
+                r.profile, r.seed
+            ),
+        };
+    }
+    if r.escaped == 0 {
+        Diagnosis {
+            cause: RootCause::Faithful,
+            evidence: format!(
+                "all {} injected fault(s) absorbed (retry, fallback solver, table growth): \
+                 outputs remain comparable",
+                r.injected
+            ),
+        }
+    } else {
+        let worst = r
+            .by_site
+            .iter()
+            .max_by_key(|s| s.escaped)
+            .map(|s| s.site.clone())
+            .unwrap_or_else(|| "?".into());
+        Diagnosis {
+            cause: RootCause::Inconclusive,
+            evidence: format!(
+                "{}/{} injected fault(s) escaped (worst site: {worst}): outputs were \
+                 produced under unhandled failures and cannot be compared",
+                r.escaped, r.injected
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +244,40 @@ mod tests {
     fn faithful_te() {
         let d = diagnose_te(&te(100.0, 99.9, 10, 13));
         assert_eq!(d.cause, RootCause::Faithful);
+    }
+
+    #[test]
+    fn resilience_report_classification() {
+        use crate::fault::{
+            FaultInjector, FaultKind, FaultPlan, FaultProfile, FaultSite,
+        };
+        // Clean baseline: nothing injected.
+        let clean = FaultInjector::disabled().report();
+        assert_eq!(diagnose_resilience(&clean).cause, RootCause::Faithful);
+
+        // All absorbed: still faithful.
+        let mut inj = FaultPlan::new(FaultProfile::Chaos, 1).injector();
+        let mut absorbed_one = false;
+        for _ in 0..64 {
+            if let Some(f) = inj.roll(FaultSite::LpSolver, FaultKind::SolverStall) {
+                inj.absorb(f);
+                absorbed_one = true;
+            }
+        }
+        assert!(absorbed_one);
+        assert_eq!(diagnose_resilience(&inj.report()).cause, RootCause::Faithful);
+
+        // One escape: the comparison is unsound.
+        let mut leaked = false;
+        for _ in 0..64 {
+            if inj.roll(FaultSite::BddTable, FaultKind::TableExhaustion).is_some() {
+                leaked = true;
+                break;
+            }
+        }
+        assert!(leaked);
+        let d = diagnose_resilience(&inj.report());
+        assert_eq!(d.cause, RootCause::Inconclusive);
+        assert!(d.evidence.contains("bdd-table"), "worst site named: {}", d.evidence);
     }
 }

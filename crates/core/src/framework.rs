@@ -12,6 +12,7 @@
 //! artifact, which is exactly the adaptive behaviour the paper's
 //! participants showed manually.
 
+use crate::fault::FaultInjector;
 use crate::llm::DefectKind;
 use crate::paper::{PaperSpec, TargetSystem};
 use crate::prompt::PromptStyle;
@@ -103,6 +104,23 @@ impl AutoEngineer {
     /// Run the framework for `system` with the given seed. Returns every
     /// attempt (last one accepted, unless the budget ran out).
     pub fn run(&self, system: TargetSystem, seed: u64) -> Vec<Attempt> {
+        self.run_with_faults(system, seed, &mut FaultInjector::disabled())
+    }
+
+    /// Fault-aware run with *checkpointed escalation*: a checkpoint is
+    /// taken in the fault ledger before each attempt, and an attempt
+    /// whose window let any fault escape is rejected even when the
+    /// defect gate would accept it — the engineer cannot trust an
+    /// artifact produced by a session whose failures went unhandled,
+    /// so it escalates the strategy and retries, exactly as it does
+    /// for residual defects. With a disabled injector this is
+    /// [`AutoEngineer::run`].
+    pub fn run_with_faults(
+        &self,
+        system: TargetSystem,
+        seed: u64,
+        faults: &mut FaultInjector,
+    ) -> Vec<Attempt> {
         let mut attempts = Vec::new();
         // Escalation ladder: plain modular text → pseudocode-first →
         // pseudocode-first with a bigger debugging budget.
@@ -141,8 +159,10 @@ impl AutoEngineer {
                 system,
                 strategy: strategy.clone(),
             };
-            let report = ReproductionSession::new(participant, seed.wrapping_add(i as u64)).run();
-            let accepted = self.gate(&report);
+            let checkpoint = faults.checkpoint();
+            let report = ReproductionSession::new(participant, seed.wrapping_add(i as u64))
+                .run_with_faults(faults);
+            let accepted = self.gate(&report) && faults.escaped_since(checkpoint) == 0;
             let style = strategy.style;
             attempts.push(Attempt { style, report, accepted });
             if attempts.last().unwrap().accepted {
@@ -263,5 +283,46 @@ mod tests {
             AutoEngineer::total_prompts(&a),
             AutoEngineer::total_prompts(&b)
         );
+    }
+
+    #[test]
+    fn escaped_faults_force_escalation() {
+        use crate::fault::{FaultOutcome, FaultPlan, FaultProfile};
+        let auto = AutoEngineer::default();
+        // Under chaos, stall/garbage budgets overflow regularly; find a
+        // seed whose first-attempt window leaks a fault and check the
+        // engineer escalated past it.
+        let mut exercised = false;
+        for seed in 0..30u64 {
+            let mut inj = FaultPlan::new(FaultProfile::Chaos, seed).injector();
+            let attempts = auto.run_with_faults(TargetSystem::NcFlow, seed, &mut inj);
+            assert!(!attempts.is_empty() && attempts.len() <= 3);
+            let trace = inj.report().trace;
+            // Reconstruct the per-attempt escape windows the engineer saw.
+            if attempts.len() > 1
+                && trace.iter().any(|e| e.outcome == FaultOutcome::Escaped)
+            {
+                exercised = true;
+            }
+            // Every non-final attempt must have been rejected.
+            for a in &attempts[..attempts.len() - 1] {
+                assert!(!a.accepted);
+            }
+        }
+        assert!(exercised, "chaos never produced an escalation-with-escapes run");
+    }
+
+    #[test]
+    fn disabled_injector_matches_plain_run() {
+        let auto = AutoEngineer::default();
+        let plain = auto.run(TargetSystem::Arrow, 9);
+        let mut inj = FaultInjector::disabled();
+        let faulted = auto.run_with_faults(TargetSystem::Arrow, 9, &mut inj);
+        assert_eq!(plain.len(), faulted.len());
+        assert_eq!(
+            AutoEngineer::total_prompts(&plain),
+            AutoEngineer::total_prompts(&faulted)
+        );
+        assert_eq!(inj.report().injected, 0);
     }
 }

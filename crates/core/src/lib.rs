@@ -45,6 +45,7 @@
 
 pub mod artifact;
 pub mod diagnosis;
+pub mod fault;
 pub mod framework;
 pub mod llm;
 pub mod metrics;
@@ -57,5 +58,6 @@ pub mod timeline;
 pub mod transcript;
 pub mod validate;
 
+pub use fault::{FaultInjector, FaultPlan, FaultProfile, ResilienceReport};
 pub use paper::TargetSystem;
 pub use session::{ReproductionSession, SessionReport};

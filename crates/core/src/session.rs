@@ -13,6 +13,7 @@
 //! 5. integration, where interop mismatches surface and are repaired.
 
 use crate::artifact::PrototypeArtifact;
+use crate::fault::{FaultInjector, FaultKind, FaultSite, RetryPolicy};
 use crate::llm::{CodeArtifact, DefectKind, Guideline, SimulatedLlm};
 use crate::paper::PaperSpec;
 use crate::prompt::{Prompt, PromptKind, PromptStyle};
@@ -58,7 +59,25 @@ impl ReproductionSession {
     }
 
     /// Run to completion; deterministic given the seed.
-    pub fn run(mut self) -> SessionReport {
+    pub fn run(self) -> SessionReport {
+        self.run_with_faults(&mut FaultInjector::disabled())
+    }
+
+    /// Run under a fault injector. With the `none` profile the
+    /// injector never fires (and never draws from its RNG), so this is
+    /// byte-identical to [`ReproductionSession::run`].
+    ///
+    /// Injected faults and their recovery:
+    ///
+    /// * **stalled session** — the prompt is spent, no response comes
+    ///   back; re-prompt while the per-component [`RetryPolicy`] budget
+    ///   lasts (absorbed), give up past it (escaped);
+    /// * **garbage response** — the artifact is unusable; regenerate
+    ///   under the same budget;
+    /// * **truncated response** — half the code arrives and it does not
+    ///   compile; absorbed once the compile loops clear the injected
+    ///   type error.
+    pub fn run_with_faults(mut self, faults: &mut FaultInjector) -> SessionReport {
         let spec = PaperSpec::for_system(self.participant.system);
         let strategy = self.participant.strategy.clone();
         let mut prompts: Vec<Prompt> = Vec::new();
@@ -87,15 +106,54 @@ impl ReproductionSession {
             order.sort_by_key(|&i| !spec.components[i].has_pseudocode);
         }
 
+        let retry_policy = RetryPolicy::default();
+        let mut truncations: Vec<(crate::fault::FaultId, usize)> = Vec::new();
         let mut artifacts: Vec<CodeArtifact> = Vec::new();
         for &idx in &order {
             let c = &spec.components[idx];
-            prompts.push(Prompt {
+            let implement_prompt = Prompt {
                 style: strategy.style,
                 kind: PromptKind::Implement { component: idx },
                 words: Prompt::implement_words(strategy.style, c.description_words, c.has_pseudocode),
-            });
+            };
+            prompts.push(implement_prompt.clone());
+
+            // Stalled session: the prompt was spent but no response
+            // arrived. Re-send while the per-component budget lasts;
+            // past it the stall escapes (the participant moves on and
+            // waits the stall out).
+            let mut budget = retry_policy.budget();
+            while let Some(f) = faults.roll(FaultSite::Session, FaultKind::StalledSession) {
+                if budget.try_consume() {
+                    prompts.push(implement_prompt.clone());
+                    faults.absorb(f);
+                } else {
+                    break;
+                }
+            }
             let mut art = self.llm.implement(c, idx, strategy.style);
+
+            // Garbage response: the artifact is unusable; discard and
+            // regenerate under the same budget.
+            while let Some(f) = faults.roll(FaultSite::LlmResponse, FaultKind::GarbageResponse) {
+                if budget.try_consume() {
+                    prompts.push(implement_prompt.clone());
+                    art = self.llm.implement(c, idx, strategy.style);
+                    faults.absorb(f);
+                } else {
+                    break;
+                }
+            }
+
+            // Truncated response: half the code arrives and it does not
+            // compile. The compile loops below are the absorption path.
+            if let Some(f) = faults.roll(FaultSite::LlmResponse, FaultKind::TruncatedResponse) {
+                art.loc = (art.loc / 2).max(5);
+                if !art.has(DefectKind::TypeError) {
+                    art.defects.push(DefectKind::TypeError);
+                }
+                truncations.push((f, artifacts.len()));
+            }
 
             // Compile loop: type errors are always visible.
             let mut rounds = 0;
@@ -165,6 +223,14 @@ impl ReproductionSession {
                 let kind = PromptKind::DebugErrorMessage { component: art.component };
                 prompts.push(Prompt { style: strategy.style, words: Prompt::debug_words(&kind), kind });
                 self.llm.debug(art, DefectKind::TypeError, Guideline::ErrorMessage);
+            }
+        }
+
+        // A truncation is absorbed once the compile loops cleared the
+        // type error it injected (the final pass above guarantees it).
+        for (f, ai) in truncations {
+            if !artifacts[ai].has(DefectKind::TypeError) {
+                faults.absorb(f);
             }
         }
 
@@ -257,6 +323,96 @@ mod tests {
         let a = total(TargetSystem::NcFlow);
         let d = total(TargetSystem::ApVerifier);
         assert!(d > a, "D residuals {d} should exceed A residuals {a}");
+    }
+
+    #[test]
+    fn none_profile_is_byte_identical_to_no_fault_layer() {
+        use crate::fault::{FaultPlan, FaultProfile};
+        for sys in TargetSystem::EXPERIMENT {
+            let plain = run(sys, 17);
+            let mut inj = FaultPlan::new(FaultProfile::None, 999).injector();
+            let faulted = ReproductionSession::new(Participant::preset(sys), 17)
+                .run_with_faults(&mut inj);
+            assert_eq!(
+                serde_json::to_string(&plain).unwrap(),
+                serde_json::to_string(&faulted).unwrap(),
+                "{sys:?}: none profile must not perturb the session"
+            );
+            assert_eq!(inj.report().injected, 0);
+        }
+    }
+
+    #[test]
+    fn heavy_faults_never_panic_and_mostly_absorb() {
+        use crate::fault::{FaultPlan, FaultProfile};
+        let mut injected = 0;
+        let mut absorbed = 0;
+        for sys in TargetSystem::EXPERIMENT {
+            for seed in 0..5u64 {
+                let mut inj = FaultPlan::new(FaultProfile::Heavy, seed).injector();
+                let r = ReproductionSession::new(Participant::preset(sys), seed)
+                    .run_with_faults(&mut inj);
+                assert!(r.artifact.loc > 0, "{sys:?} seed {seed}: session must still finish");
+                assert!(
+                    !r.residual_defects.contains(&DefectKind::TypeError),
+                    "{sys:?} seed {seed}: truncation type errors must not ship"
+                );
+                let rep = inj.report();
+                injected += rep.injected;
+                absorbed += rep.absorbed;
+            }
+        }
+        assert!(injected > 0, "heavy profile must actually inject");
+        assert!(
+            absorbed * 2 > injected,
+            "most faults should be absorbed: {absorbed}/{injected}"
+        );
+    }
+
+    #[test]
+    fn fault_trace_is_deterministic_per_plan() {
+        use crate::fault::FaultPlan;
+        use crate::fault::FaultProfile;
+        let mk = || {
+            let mut inj = FaultPlan::new(FaultProfile::Chaos, 31).injector();
+            let r = ReproductionSession::new(Participant::preset(TargetSystem::Arrow), 31)
+                .run_with_faults(&mut inj);
+            (r.total_prompts(), r.total_words(), inj.report())
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn retry_budget_bounds_extra_prompts() {
+        use crate::fault::{FaultPlan, FaultProfile, RetryPolicy};
+        // Even under chaos, re-prompts per component are capped by the
+        // retry budget, so prompt growth is linear in components.
+        let sys = TargetSystem::NcFlow;
+        let components = crate::paper::PaperSpec::for_system(sys).components.len();
+        let cap = RetryPolicy::default().max_retries as usize;
+        for seed in 0..10u64 {
+            let plain = run(sys, seed);
+            let mut inj = FaultPlan::new(FaultProfile::Chaos, seed).injector();
+            let faulted = ReproductionSession::new(Participant::preset(sys), seed)
+                .run_with_faults(&mut inj);
+            // Retries add at most `cap` implement prompts per component;
+            // everything else (debug rounds) is already bounded by the
+            // strategy. Only implement prompts are re-sent, so compare
+            // those.
+            let implements = |r: &SessionReport| {
+                r.prompts
+                    .iter()
+                    .filter(|p| matches!(p.kind, crate::prompt::PromptKind::Implement { .. }))
+                    .count()
+            };
+            assert!(
+                implements(&faulted) <= implements(&plain) + components * cap,
+                "seed {seed}: {} vs {} (+{} max)",
+                implements(&faulted),
+                implements(&plain),
+                components * cap
+            );
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub fn schedule(report: &SessionReport, prompts_per_evening: usize) -> Timeline 
     let mut day = 1u32;
     // Meetings every 4 days (the middle of the paper's "three to five").
     while next_prompt < total && day <= WINDOW_DAYS {
-        let meeting = day % 4 == 0;
+        let meeting = day.is_multiple_of(4);
         let mut prompts = Vec::new();
         if !meeting {
             for _ in 0..prompts_per_evening {

@@ -7,7 +7,7 @@
 //! atom ids — the source of AP's real-time verification speed.
 
 use crate::network::{Action, Network};
-use netrepro_bdd::{BddManager, EngineProfile, Ref, FALSE, TRUE};
+use netrepro_bdd::{BddError, BddManager, EngineProfile, Ref, FALSE, TRUE};
 use netrepro_graph::NodeId;
 
 /// A set of atom ids, stored as a bitmask.
@@ -189,12 +189,53 @@ impl ApVerifier {
     /// This is the *predicate computation* phase whose latency Table D
     /// compares across BDD engine profiles (JDD vs JavaBDD stand-ins).
     pub fn build(net: &Network, profile: EngineProfile) -> Self {
+        let m = net.layout.manager(profile);
+        Self::build_in(m, net).expect("uncapped manager cannot exhaust its node table")
+    }
+
+    /// Like [`ApVerifier::build`], but with a soft node-table cap: the
+    /// compile aborts with [`BddError::TableExhausted`] (checked between
+    /// device compiles and after the atom refinement) instead of growing
+    /// without bound. Used by the fault-injection harness to model a
+    /// BDD library running out of table space mid-verification.
+    pub fn try_build(net: &Network, profile: EngineProfile, node_cap: usize) -> Result<Self, BddError> {
         let mut m = net.layout.manager(profile);
+        m.set_node_cap(Some(node_cap));
+        Self::build_in(m, net)
+    }
+
+    /// Growth-retry absorption: attempt [`ApVerifier::try_build`] with
+    /// `initial_cap`, doubling the cap on each [`BddError::TableExhausted`]
+    /// up to `max_doublings` times. Returns the verifier and how many
+    /// doublings it took — a nonzero count means the fault was absorbed
+    /// rather than avoided.
+    pub fn build_with_growth(
+        net: &Network,
+        profile: EngineProfile,
+        initial_cap: usize,
+        max_doublings: u32,
+    ) -> Result<(Self, u32), BddError> {
+        let mut cap = initial_cap.max(1);
+        let mut doublings = 0;
+        loop {
+            match Self::try_build(net, profile, cap) {
+                Ok(v) => return Ok((v, doublings)),
+                Err(BddError::TableExhausted { .. }) if doublings < max_doublings => {
+                    cap *= 2;
+                    doublings += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn build_in(mut m: BddManager, net: &Network) -> Result<Self, BddError> {
         // Compile every device, keeping the per-action predicates.
         let mut compiled: Vec<Vec<(Action, Ref)>> = Vec::with_capacity(net.graph.num_nodes());
         for v in net.graph.nodes() {
             let pp = net.port_predicates(&mut m, v);
             compiled.push(pp.preds);
+            m.check_capacity()?;
         }
         // Atoms from all forwarding/deliver predicates (drop residues are
         // complements of per-device unions, so they refine nothing new,
@@ -207,6 +248,7 @@ impl ApVerifier {
             .collect();
         let num_predicates = sources.len();
         let atoms = AtomicPredicates::compute(&mut m, &sources);
+        m.check_capacity()?;
         let tables: Vec<Vec<(Action, AtomSet)>> = compiled
             .iter()
             .map(|preds| {
@@ -223,8 +265,9 @@ impl ApVerifier {
                 }
             }
         }
+        m.check_capacity()?;
         let edge_endpoints = net.graph.edges().map(|e| net.graph.endpoints(e)).collect();
-        ApVerifier { manager: m, atoms, tables, num_predicates, edge_endpoints }
+        Ok(ApVerifier { manager: m, atoms, tables, num_predicates, edge_endpoints })
     }
 
     /// Number of atomic predicates (the headline metric of Tables C/D).
@@ -355,6 +398,35 @@ mod tests {
         let slow = ApVerifier::build(&ds.network, EngineProfile::Uncached);
         assert_eq!(fast.num_atoms(), slow.num_atoms());
         assert!(fast.num_atoms() >= 5, "at least one atom per owned prefix");
+    }
+
+    #[test]
+    fn try_build_reports_exhaustion_on_tiny_cap() {
+        let ds = generate(ring(5, 1.0), HeaderLayout::new(12), &DatasetOpts::default());
+        let err = ApVerifier::try_build(&ds.network, EngineProfile::Cached, 4).unwrap_err();
+        assert!(matches!(err, BddError::TableExhausted { cap: 4, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn try_build_with_ample_cap_matches_build() {
+        let ds = generate(ring(5, 1.0), HeaderLayout::new(12), &DatasetOpts::default());
+        let plain = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        let capped = ApVerifier::try_build(&ds.network, EngineProfile::Cached, 1 << 20).unwrap();
+        assert_eq!(plain.num_atoms(), capped.num_atoms());
+    }
+
+    #[test]
+    fn growth_retry_absorbs_exhaustion() {
+        let ds = generate(ring(5, 1.0), HeaderLayout::new(12), &DatasetOpts::default());
+        let plain = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        let (v, doublings) =
+            ApVerifier::build_with_growth(&ds.network, EngineProfile::Cached, 4, 20).unwrap();
+        assert!(doublings > 0, "tiny initial cap must force at least one doubling");
+        assert_eq!(v.num_atoms(), plain.num_atoms(), "absorbed build must agree");
+        // Exhausting the retry budget surfaces the typed error instead.
+        let err = ApVerifier::build_with_growth(&ds.network, EngineProfile::Cached, 1, 1)
+            .unwrap_err();
+        assert!(matches!(err, BddError::TableExhausted { .. }));
     }
 
     #[test]

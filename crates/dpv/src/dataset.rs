@@ -60,10 +60,10 @@ pub fn generate(graph: DiGraph, layout: HeaderLayout, opts: &DatasetOpts) -> Fib
     // Owned prefixes: dense ids left-aligned into the header.
     let mut owned: Vec<Vec<Prefix>> = vec![Vec::new(); n];
     let mut next_id: u32 = 0;
-    for d in 0..n {
+    for prefixes in owned.iter_mut() {
         for _ in 0..opts.prefixes_per_device {
             let addr = next_id << (layout.width - plen as u32);
-            owned[d].push(Prefix { addr, len: plen });
+            prefixes.push(Prefix { addr, len: plen });
             next_id += 1;
         }
     }
@@ -75,9 +75,9 @@ pub fn generate(graph: DiGraph, layout: HeaderLayout, opts: &DatasetOpts) -> Fib
     let nn = net.graph.num_nodes();
     let no_nodes = vec![false; nn];
     let no_edges = vec![false; net.graph.num_edges()];
-    for d in 0..n {
+    for (d, prefixes) in owned.iter().enumerate() {
         let dst = NodeId(d as u32);
-        for &p in &owned[d] {
+        for &p in prefixes {
             net.devices[d].insert(Rule { prefix: p, priority: p.len as u32, action: Action::Deliver });
             for v in 0..n {
                 if v == d {
@@ -123,6 +123,66 @@ pub fn generate(graph: DiGraph, layout: HeaderLayout, opts: &DatasetOpts) -> Fib
     }
 
     FibDataset { network: net, owned }
+}
+
+impl FibDataset {
+    /// Deterministically corrupt up to `count` FIB rules (the
+    /// fault-injection harness's "FIB corruption" site). Each victim
+    /// rule's action is rewritten: forwards become drops or are
+    /// redirected out a random port (misdelivery / potential loop),
+    /// delivers become drops (blackhole). Returns how many rules were
+    /// actually rewritten. Same `seed` ⇒ identical corruption.
+    pub fn corrupt_fib(&mut self, count: usize, seed: u64) -> usize {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sites: Vec<(usize, usize)> = Vec::new();
+        for (d, dev) in self.network.devices.iter().enumerate() {
+            for r in 0..dev.rules.len() {
+                sites.push((d, r));
+            }
+        }
+        let mut corrupted = 0;
+        for _ in 0..count.min(sites.len()) {
+            let pick = rng.random_range(0..sites.len());
+            let (d, r) = sites.swap_remove(pick);
+            let node = NodeId(d as u32);
+            let out = self.network.graph.out_edges(node);
+            let rule = &mut self.network.devices[d].rules[r];
+            rule.action = match rule.action {
+                Action::Forward(_) if !out.is_empty() && rng.random::<f64>() < 0.5 => {
+                    Action::Forward(out[rng.random_range(0..out.len())])
+                }
+                _ => Action::Drop,
+            };
+            corrupted += 1;
+        }
+        corrupted
+    }
+
+    /// Deterministically sever up to `count` links: every forwarding
+    /// rule that uses a severed edge is rewritten to drop, modelling a
+    /// link whose far end went dark without the FIB converging. Returns
+    /// how many rules were rewritten. Same `seed` ⇒ identical corruption.
+    pub fn corrupt_links(&mut self, count: usize, seed: u64) -> usize {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: Vec<netrepro_graph::EdgeId> = self.network.graph.edges().collect();
+        let mut severed = Vec::new();
+        for _ in 0..count.min(edges.len()) {
+            let pick = rng.random_range(0..edges.len());
+            severed.push(edges.swap_remove(pick));
+        }
+        let mut rewritten = 0;
+        for dev in &mut self.network.devices {
+            for rule in &mut dev.rules {
+                if let Action::Forward(e) = rule.action {
+                    if severed.contains(&e) {
+                        rule.action = Action::Drop;
+                        rewritten += 1;
+                    }
+                }
+            }
+        }
+        rewritten
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +256,46 @@ mod tests {
         let a = mk();
         let b = mk();
         assert_eq!(a.network.num_rules(), b.network.num_rules());
+    }
+
+    #[test]
+    fn corrupt_fib_is_deterministic_and_bounded() {
+        let mk = || small();
+        let mut a = mk();
+        let mut b = mk();
+        assert_eq!(a.corrupt_fib(3, 7), 3);
+        assert_eq!(b.corrupt_fib(3, 7), 3);
+        for (da, db) in a.network.devices.iter().zip(&b.network.devices) {
+            assert_eq!(da.rules, db.rules, "same seed must corrupt identically");
+        }
+        // Rule count is untouched — corruption rewrites, never inserts.
+        assert_eq!(a.network.num_rules(), mk().network.num_rules());
+        // Asking for more corruptions than rules saturates.
+        let mut c = mk();
+        let total = c.network.num_rules();
+        assert_eq!(c.corrupt_fib(10_000, 1), total);
+    }
+
+    #[test]
+    fn corrupt_links_blackholes_forwarding_rules() {
+        let mut ds = small();
+        let before_drops: usize = ds
+            .network
+            .devices
+            .iter()
+            .flat_map(|d| &d.rules)
+            .filter(|r| r.action == Action::Drop)
+            .count();
+        let rewritten = ds.corrupt_links(2, 42);
+        assert!(rewritten > 0, "severing ring links must strand some routes");
+        let after_drops: usize = ds
+            .network
+            .devices
+            .iter()
+            .flat_map(|d| &d.rules)
+            .filter(|r| r.action == Action::Drop)
+            .count();
+        assert_eq!(after_drops, before_drops + rewritten);
     }
 
     #[test]

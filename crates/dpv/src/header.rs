@@ -61,14 +61,14 @@ pub struct HeaderLayout {
 impl HeaderLayout {
     /// A forwarding-only layout with the given destination width.
     pub fn new(width: u32) -> Self {
-        assert!(width >= 1 && width <= 32);
+        assert!((1..=32).contains(&width));
         HeaderLayout { width, src_width: 0, port_width: 0 }
     }
 
     /// A layout with ACL fields: destination + source addresses and a
     /// destination port.
     pub fn with_acl_fields(width: u32, src_width: u32, port_width: u32) -> Self {
-        assert!(width >= 1 && width <= 32 && src_width <= 32 && port_width <= 16);
+        assert!((1..=32).contains(&width) && src_width <= 32 && port_width <= 16);
         HeaderLayout { width, src_width, port_width }
     }
 
@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn prefix_contains_addresses() {
-        let p = Prefix { addr: 0b1010_0000, len: 4 };
+        let p = Prefix { addr: 0b10100000, len: 4 };
         assert!(p.contains(0b1010_1111, 8));
         assert!(!p.contains(0b1011_0000, 8));
         assert!(Prefix::ANY.contains(123, 8));
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn covers_is_prefix_order() {
         let w = 8;
-        let p4 = Prefix { addr: 0b1010_0000, len: 4 };
+        let p4 = Prefix { addr: 0b10100000, len: 4 };
         let p6 = Prefix { addr: 0b1010_1000, len: 6 };
         assert!(p4.covers(&p6, w));
         assert!(!p6.covers(&p4, w));
@@ -161,7 +161,7 @@ mod tests {
     fn pred_agrees_with_contains() {
         let layout = HeaderLayout::new(6);
         let mut m = layout.manager(EngineProfile::Cached);
-        let p = Prefix { addr: 0b1010_00, len: 3 };
+        let p = Prefix { addr: 0b101000, len: 3 };
         let pred = layout.prefix_pred(&mut m, p);
         for a in 0u32..64 {
             let bits: Vec<bool> = (0..6).map(|i| (a >> (5 - i)) & 1 == 1).collect();

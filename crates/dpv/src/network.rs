@@ -252,7 +252,7 @@ mod tests {
     fn equal_priority_keeps_insertion_order() {
         let (mut net, a, _, e) = two_node_net(8);
         let dev = net.device_mut(a);
-        let r1 = Rule { prefix: Prefix { addr: 0b0000_0000, len: 2 }, priority: 2, action: Action::Forward(e) };
+        let r1 = Rule { prefix: Prefix { addr: 0b00000000, len: 2 }, priority: 2, action: Action::Forward(e) };
         let r2 = Rule { prefix: Prefix { addr: 0b0100_0000, len: 2 }, priority: 2, action: Action::Drop };
         dev.insert(r1);
         dev.insert(r2);
@@ -265,7 +265,7 @@ mod tests {
         let (mut net, a, _, e) = two_node_net(8);
         let dev = net.device_mut(a);
         dev.insert(Rule { prefix: Prefix { addr: 0, len: 0 }, priority: 0, action: Action::Forward(e) });
-        dev.insert(Rule { prefix: Prefix { addr: 0b1000_0000, len: 1 }, priority: 1, action: Action::Drop });
+        dev.insert(Rule { prefix: Prefix { addr: 0b10000000, len: 1 }, priority: 1, action: Action::Drop });
         assert_eq!(dev.action_for(0b1100_0000, 8), Action::Drop);
         assert_eq!(dev.action_for(0b0100_0000, 8), Action::Forward(e));
     }
@@ -274,7 +274,7 @@ mod tests {
     fn port_predicates_partition_header_space() {
         let (mut net, a, _, e) = two_node_net(8);
         net.device_mut(a).insert(Rule {
-            prefix: Prefix { addr: 0b1000_0000, len: 1 },
+            prefix: Prefix { addr: 0b10000000, len: 1 },
             priority: 1,
             action: Action::Forward(e),
         });
@@ -296,7 +296,7 @@ mod tests {
         let dev = net.device_mut(a);
         dev.insert(Rule { prefix: Prefix { addr: 0, len: 0 }, priority: 0, action: Action::Forward(e) });
         dev.insert(Rule {
-            prefix: Prefix { addr: 0b1010_0000, len: 4 },
+            prefix: Prefix { addr: 0b10100000, len: 4 },
             priority: 4,
             action: Action::Drop,
         });
@@ -312,9 +312,9 @@ mod tests {
     fn pp_agrees_with_scan_oracle() {
         let (mut net, a, _, e) = two_node_net(6);
         let dev = net.device_mut(a);
-        dev.insert(Rule { prefix: Prefix { addr: 0b1000_00, len: 1 }, priority: 1, action: Action::Forward(e) });
-        dev.insert(Rule { prefix: Prefix { addr: 0b1010_00, len: 3 }, priority: 3, action: Action::Deliver });
-        dev.insert(Rule { prefix: Prefix { addr: 0b0000_00, len: 2 }, priority: 2, action: Action::Drop });
+        dev.insert(Rule { prefix: Prefix { addr: 0b100000, len: 1 }, priority: 1, action: Action::Forward(e) });
+        dev.insert(Rule { prefix: Prefix { addr: 0b101000, len: 3 }, priority: 3, action: Action::Deliver });
+        dev.insert(Rule { prefix: Prefix { addr: 0b000000, len: 2 }, priority: 2, action: Action::Drop });
         let mut m = net.layout.manager(EngineProfile::Cached);
         let pp = net.port_predicates(&mut m, a);
         for addr in 0u32..64 {

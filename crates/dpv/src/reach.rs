@@ -303,8 +303,8 @@ pub fn blackholes(v: &ApVerifier, src: NodeId) -> Vec<(NodeId, AtomSet)> {
         }
     }
     let mut result = Vec::new();
-    for u in 0..n {
-        let dropped = reached[u].intersect(&v.drop_set(NodeId(u as u32)));
+    for (u, arrived) in reached.iter().enumerate().take(n) {
+        let dropped = arrived.intersect(&v.drop_set(NodeId(u as u32)));
         if !dropped.is_empty() {
             result.push((NodeId(u as u32), dropped));
         }

@@ -251,7 +251,7 @@ mod tests {
     #[test]
     fn dijkstra_prefers_lowest_weight() {
         let (g, ns) = diamond();
-        let p = dijkstra_path(&g, ns[0], ns[3], &vec![false; 4], &vec![false; 5]).unwrap();
+        let p = dijkstra_path(&g, ns[0], ns[3], &[false; 4], &[false; 5]).unwrap();
         assert_eq!(p.cost, 2.0);
         assert_eq!(p.nodes(&g), vec![ns[0], ns[1], ns[3]]);
     }
@@ -261,7 +261,7 @@ mod tests {
         let mut g = DiGraph::new();
         let a = g.add_node("a");
         let b = g.add_node("b");
-        assert!(dijkstra_path(&g, a, b, &vec![false; 2], &[]).is_none());
+        assert!(dijkstra_path(&g, a, b, &[false; 2], &[]).is_none());
     }
 
     #[test]
@@ -294,7 +294,7 @@ mod tests {
         let (mut g, ns) = diamond();
         let e = g.find_edge(ns[0], ns[1]).unwrap();
         g.set_capacity(e, 3.0);
-        let p = dijkstra_path(&g, ns[0], ns[3], &vec![false; 4], &vec![false; 5]).unwrap();
+        let p = dijkstra_path(&g, ns[0], ns[3], &[false; 4], &[false; 5]).unwrap();
         assert_eq!(p.bottleneck(&g), 3.0);
     }
 

@@ -131,8 +131,8 @@ pub fn bimodal(
         }
     }
     let mut tm = TrafficMatrix::zeros(n);
-    for i in 0..n * n {
-        tm.demand[i] = total_demand * weights[i] / raw;
+    for (cell, &w) in tm.demand.iter_mut().zip(&weights) {
+        *cell = total_demand * w / raw;
     }
     tm
 }

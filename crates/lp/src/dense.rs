@@ -179,10 +179,11 @@ impl LpSolver for DenseSimplex {
                     objective: 0.0,
                     values: vec![0.0; problem.num_vars()],
                     iterations: 0,
+                    degraded: false,
                 });
             }
             let (values, objective) = std.recover(problem, &vec![0.0; n]);
-            return Ok(Solution { status: Status::Optimal, objective, values, iterations: 0 });
+            return Ok(Solution { status: Status::Optimal, objective, values, iterations: 0, degraded: false });
         }
 
         let limit = self
@@ -193,8 +194,8 @@ impl LpSolver for DenseSimplex {
 
         // Phase 1: minimise the sum of artificials.
         let mut c1 = vec![0.0; t.n_total];
-        for j in n..t.n_total {
-            c1[j] = 1.0;
+        for cost in c1.iter_mut().skip(n) {
+            *cost = 1.0;
         }
         // Artificials may leave but never re-enter: allow_below = n.
         let finished = t.optimise(&c1, n, limit)?;
@@ -205,6 +206,7 @@ impl LpSolver for DenseSimplex {
                 objective: 0.0,
                 values: vec![0.0; problem.num_vars()],
                 iterations: t.iterations,
+                degraded: false,
             });
         }
 
@@ -219,12 +221,13 @@ impl LpSolver for DenseSimplex {
                 objective: 0.0,
                 values: vec![0.0; problem.num_vars()],
                 iterations: t.iterations,
+                degraded: false,
             });
         }
 
         let x = t.extract();
         let (values, objective) = std.recover(problem, &x);
-        Ok(Solution { status: Status::Optimal, objective, values, iterations: t.iterations })
+        Ok(Solution { status: Status::Optimal, objective, values, iterations: t.iterations, degraded: false })
     }
 
     fn name(&self) -> &'static str {

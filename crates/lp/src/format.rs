@@ -129,8 +129,9 @@ pub fn parse_lp(text: &str) -> Result<Problem, ParseError> {
     let mut section = None;
     let mut names: std::collections::HashMap<String, crate::VarId> = Default::default();
     // (terms, op, rhs) rows staged until all variables are known.
+    type StagedRow = (Vec<(String, f64)>, ConstraintOp, f64);
     let mut obj_terms: Vec<(String, f64)> = Vec::new();
-    let mut rows: Vec<(Vec<(String, f64)>, ConstraintOp, f64)> = Vec::new();
+    let mut rows: Vec<StagedRow> = Vec::new();
     let mut bounds: Vec<(String, f64, f64)> = Vec::new();
 
     let err = |line: usize, m: &str| ParseError { line, message: m.to_string() };

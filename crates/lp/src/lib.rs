@@ -38,6 +38,7 @@
 
 pub mod dense;
 pub mod duals;
+pub mod fallback;
 pub mod format;
 pub mod model;
 pub mod presolve;
@@ -71,6 +72,12 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Simplex pivots performed (both phases).
     pub iterations: u64,
+    /// Set when the solution came from a degraded path — e.g. the
+    /// [`fallback::FallbackSolver`] recovered from a primary-solver
+    /// failure with its slower backup. The solution is still feasible
+    /// and optimal for the model; the tag records that the preferred
+    /// solver did not produce it.
+    pub degraded: bool,
 }
 
 impl Solution {

@@ -76,8 +76,8 @@ impl<'a> Core<'a> {
         let n_real = std.n();
         let n_total = n_real + m;
         let mut in_basis = vec![false; n_total];
-        for j in n_real..n_total {
-            in_basis[j] = true;
+        for slot in in_basis.iter_mut().skip(n_real) {
+            *slot = true;
         }
         Core {
             std,
@@ -106,14 +106,14 @@ impl<'a> Core<'a> {
         let mut w = vec![0.0; m];
         match self.col(j) {
             ColRef::Unit(r) => {
-                for i in 0..m {
-                    w[i] = self.binv.a[i * m + r];
+                for (i, wi) in w.iter_mut().enumerate() {
+                    *wi = self.binv.a[i * m + r];
                 }
             }
             ColRef::Sparse(col) => {
                 for &(r, v) in col {
-                    for i in 0..m {
-                        w[i] += self.binv.a[i * m + r] * v;
+                    for (i, wi) in w.iter_mut().enumerate() {
+                        *wi += self.binv.a[i * m + r] * v;
                     }
                 }
             }
@@ -171,9 +171,9 @@ impl<'a> Core<'a> {
 
         let w = self.ftran(q);
         let mut leave: Option<(usize, f64)> = None;
-        for i in 0..self.std.m {
-            if w[i] > TOL {
-                let theta = self.xb[i] / w[i];
+        for (i, &wi) in w.iter().enumerate().take(self.std.m) {
+            if wi > TOL {
+                let theta = self.xb[i] / wi;
                 let better = match leave {
                     None => true,
                     Some((li, lt)) => {
@@ -195,9 +195,9 @@ impl<'a> Core<'a> {
         }
 
         // Update solution and basis inverse (elementary row ops).
-        for i in 0..self.std.m {
+        for (i, &wi) in w.iter().enumerate().take(self.std.m) {
             if i != lr {
-                self.xb[i] -= theta * w[i];
+                self.xb[i] -= theta * wi;
                 if self.xb[i] < 0.0 && self.xb[i] > -TOL {
                     self.xb[i] = 0.0;
                 }
@@ -210,12 +210,8 @@ impl<'a> Core<'a> {
         for j in 0..m {
             self.binv.a[lr * m + j] /= piv;
         }
-        for i in 0..m {
-            if i == lr {
-                continue;
-            }
-            let f = w[i];
-            if f == 0.0 {
+        for (i, &f) in w.iter().enumerate().take(m) {
+            if i == lr || f == 0.0 {
                 continue;
             }
             for j in 0..m {
@@ -229,7 +225,7 @@ impl<'a> Core<'a> {
         self.basis[lr] = q;
         self.iterations += 1;
 
-        if self.iterations % REFACTOR_EVERY == 0 {
+        if self.iterations.is_multiple_of(REFACTOR_EVERY) {
             self.refactorise();
         }
         Step::Pivoted
@@ -291,13 +287,13 @@ impl<'a> Core<'a> {
         self.binv = inv;
         // x_B = B⁻¹ b
         let mut xb = vec![0.0; m];
-        for i in 0..m {
+        for (i, xbi) in xb.iter_mut().enumerate().take(m) {
             let row = self.binv.row(i);
             let mut s = 0.0;
             for (j, &bj) in self.std.b.iter().enumerate() {
                 s += row[j] * bj;
             }
-            xb[i] = if s.abs() < TOL { 0.0 } else { s };
+            *xbi = if s.abs() < TOL { 0.0 } else { s };
         }
         self.xb = xb;
     }
@@ -356,6 +352,7 @@ impl LpSolver for RevisedSimplex {
                         objective: 0.0,
                         values: vec![0.0; problem.num_vars()],
                         iterations: 0,
+                        degraded: false,
                     })
                 }
             }
@@ -374,10 +371,11 @@ impl LpSolver for RevisedSimplex {
                     objective: 0.0,
                     values: vec![0.0; problem.num_vars()],
                     iterations: 0,
+                    degraded: false,
                 });
             }
             let (values, objective) = std.recover(effective, &vec![0.0; n]);
-            return Ok(Solution { status: Status::Optimal, objective, values, iterations: 0 });
+            return Ok(Solution { status: Status::Optimal, objective, values, iterations: 0, degraded: false });
         }
 
         let limit = self
@@ -397,6 +395,7 @@ impl LpSolver for RevisedSimplex {
                 objective: 0.0,
                 values: vec![0.0; problem.num_vars()],
                 iterations: core.iterations,
+                degraded: false,
             });
         }
 
@@ -410,6 +409,7 @@ impl LpSolver for RevisedSimplex {
                 objective: 0.0,
                 values: vec![0.0; problem.num_vars()],
                 iterations: core.iterations,
+                degraded: false,
             });
         }
 
@@ -420,6 +420,7 @@ impl LpSolver for RevisedSimplex {
             objective,
             values,
             iterations: core.iterations,
+            degraded: false,
         })
     }
 

@@ -65,7 +65,8 @@ impl StandardLp {
         let mut var_map: Vec<VarMap> = Vec::with_capacity(p.vars.len());
         let mut obj_offset = 0.0;
         // Rows: original constraints first, upper-bound rows appended.
-        let mut rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = p
+        type Row = (Vec<(usize, f64)>, ConstraintOp, f64);
+        let mut rows: Vec<Row> = p
             .constraints
             .iter()
             .map(|con| (Vec::new(), con.op, con.rhs))

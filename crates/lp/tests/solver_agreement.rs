@@ -79,6 +79,26 @@ proptest! {
     }
 
     #[test]
+    fn fallback_recovers_a_feasible_degraded_solution(p in arb_lp()) {
+        use netrepro_lp::fallback::FallbackSolver;
+        // A one-iteration budget stalls the primary on anything
+        // non-trivial — the injected "numerical stall".
+        let crippled = RevisedSimplex { max_iterations: Some(1), ..Default::default() };
+        let s = FallbackSolver::new(crippled, DenseSimplex::default());
+        let sol = s.solve(&p).expect("fallback must recover whenever dense can solve");
+        if sol.status == Status::Optimal {
+            prop_assert!(p.is_feasible(&sol.values, 1e-5));
+            if s.degradations() > 0 {
+                prop_assert!(sol.degraded, "recovered solution must carry the Degraded tag");
+                let reference = DenseSimplex::default().solve(&p).expect("dense");
+                prop_assert!((sol.objective - reference.objective).abs() < 1e-5,
+                    "degraded optimum {} drifted from dense optimum {}",
+                    sol.objective, reference.objective);
+            }
+        }
+    }
+
+    #[test]
     fn presolve_never_changes_the_answer(p in arb_lp()) {
         let with = RevisedSimplex::default().solve(&p).expect("with presolve");
         let without = RevisedSimplex { presolve: false, ..Default::default() }

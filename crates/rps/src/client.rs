@@ -1,8 +1,10 @@
 //! The RPS client.
 
+use crate::error::{read_frame, ProtocolError};
 use crate::protocol::{Move, Outcome, Request, Response};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One round's result from the client's perspective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,48 +28,82 @@ pub struct RpsClient {
 
 impl RpsClient {
     /// Connect to a server.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<RpsClient> {
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RpsClient, ProtocolError> {
         let stream = TcpStream::connect(addr)?;
         let writer = stream.try_clone()?;
         Ok(RpsClient { writer, reader: BufReader::new(stream) })
     }
 
+    /// Connect, retrying with exponential backoff: after a failed
+    /// attempt the client sleeps `base`, then `2*base`, `4*base`, …
+    /// for up to `retries` additional attempts. This is the absorption
+    /// path for a server that is still coming up (or was restarted
+    /// under the fault injector).
+    pub fn connect_with_backoff(
+        addr: impl ToSocketAddrs + Clone,
+        retries: u32,
+        base: Duration,
+    ) -> Result<RpsClient, ProtocolError> {
+        let mut delay = base;
+        let mut attempt = 0;
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if attempt >= retries => return Err(e),
+                Err(_) => {
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Arm read/write deadlines on the socket (`None` disarms). A
+    /// blocked read or write past its deadline surfaces as
+    /// [`ProtocolError::Timeout`] instead of hanging the session.
+    pub fn set_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> Result<(), ProtocolError> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(read)?;
+        stream.set_write_timeout(write)?;
+        Ok(())
+    }
+
     /// Play one round.
-    pub fn play(&mut self, m: Move) -> io::Result<RoundResult> {
+    pub fn play(&mut self, m: Move) -> Result<RoundResult, ProtocolError> {
         self.writer.write_all(Request::Play(m).wire().as_bytes())?;
         let line = self.read_line()?;
         match Response::parse(&line) {
             Some(Response::Result(you, server, outcome, round)) => {
                 Ok(RoundResult { you, server, outcome, round })
             }
-            Some(Response::Err(e)) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response {other:?} to MOVE"),
-            )),
+            Some(Response::Err(e)) => Err(ProtocolError::ServerError(e)),
+            Some(other) => {
+                Err(ProtocolError::Unexpected { got: other.wire().trim().to_string(), expected: "RESULT" })
+            }
+            None => Err(ProtocolError::Malformed(line)),
         }
     }
 
     /// Disconnect; returns rounds played per the server.
-    pub fn disconnect(mut self) -> io::Result<u64> {
+    pub fn disconnect(mut self) -> Result<u64, ProtocolError> {
         self.writer.write_all(Request::Disconnect.wire().as_bytes())?;
         let line = self.read_line()?;
         match Response::parse(&line) {
             Some(Response::Bye(n)) => Ok(n),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response {other:?} to DISCONNECT"),
-            )),
+            Some(other) => {
+                Err(ProtocolError::Unexpected { got: other.wire().trim().to_string(), expected: "BYE" })
+            }
+            None => Err(ProtocolError::Malformed(line)),
         }
     }
 
-    fn read_line(&mut self) -> io::Result<String> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
-        }
-        Ok(line)
+    fn read_line(&mut self) -> Result<String, ProtocolError> {
+        read_frame(&mut self.reader)?.ok_or(ProtocolError::PeerClosed)
     }
 }
 
@@ -75,6 +111,8 @@ impl RpsClient {
 mod tests {
     use super::*;
     use crate::server::RpsServer;
+    use std::io::Read;
+    use std::net::TcpListener;
 
     fn with_server(f: impl FnOnce(std::net::SocketAddr)) {
         let server = RpsServer::bind("127.0.0.1:0").unwrap();
@@ -113,6 +151,50 @@ mod tests {
                 assert_eq!(r.outcome, expect);
             }
             c.disconnect().unwrap();
+        });
+    }
+
+    #[test]
+    fn silent_server_times_out_instead_of_hanging() {
+        // A listener that accepts and then says nothing — the injected
+        // "stalled peer" fault.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink); // hold the socket open until the client gives up
+        });
+        let mut c = RpsClient::connect(addr).unwrap();
+        c.set_timeouts(Some(Duration::from_millis(50)), None).unwrap();
+        match c.play(Move::Rock) {
+            Err(ProtocolError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        drop(c);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_connect_gives_up_with_typed_error() {
+        // Grab an ephemeral port, then release it so nothing listens.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let start = std::time::Instant::now();
+        let err =
+            RpsClient::connect_with_backoff(dead, 2, Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Io(_)), "got {err:?}");
+        // Two retries: 10ms + 20ms of backoff at minimum.
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn backoff_connect_succeeds_immediately_when_up() {
+        with_server(|addr| {
+            let c = RpsClient::connect_with_backoff(addr, 3, Duration::from_millis(10)).unwrap();
+            assert_eq!(c.disconnect().unwrap(), 0);
         });
     }
 }

@@ -1,0 +1,175 @@
+//! Typed protocol errors and frame limits.
+//!
+//! The seed implementation funnelled every failure through
+//! `io::Error::new(InvalidData, ...)`, which made "the peer sent
+//! garbage" indistinguishable from "the socket died". The
+//! fault-injection harness needs to tell those apart to decide whether
+//! a fault was absorbed (retried, reconnected) or escaped, so the
+//! crate now reports [`ProtocolError`] everywhere.
+
+use std::io;
+
+/// Maximum accepted frame length in bytes (one protocol line or one
+/// datagram, excluding the newline). Anything longer is rejected as
+/// [`ProtocolError::Oversized`] instead of being buffered without
+/// bound — a peer streaming an endless line can no longer pin memory.
+pub const MAX_FRAME: usize = 256;
+
+/// Everything that can go wrong on the RPS wire.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// A read or write hit its configured deadline.
+    Timeout,
+    /// The peer closed the connection mid-session.
+    PeerClosed,
+    /// A frame did not parse (bad verb, bad move, invalid UTF-8).
+    Malformed(String),
+    /// A frame exceeded [`MAX_FRAME`].
+    Oversized {
+        /// Observed length (or a lower bound, if rejection was early).
+        len: usize,
+        /// The limit that was exceeded.
+        cap: usize,
+    },
+    /// A syntactically valid response arrived where a different kind
+    /// was required (e.g. `BYE` in answer to `MOVE`).
+    Unexpected {
+        /// The response that arrived.
+        got: String,
+        /// What the state machine was waiting for.
+        expected: &'static str,
+    },
+    /// The server answered with an explicit `ERR` line.
+    ServerError(String),
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ProtocolError::Timeout,
+            io::ErrorKind::UnexpectedEof => ProtocolError::PeerClosed,
+            _ => ProtocolError::Io(e),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "socket error: {e}"),
+            ProtocolError::Timeout => write!(f, "timed out waiting for the peer"),
+            ProtocolError::PeerClosed => write!(f, "peer closed the connection"),
+            ProtocolError::Malformed(line) => write!(f, "malformed frame: {line:?}"),
+            ProtocolError::Oversized { len, cap } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {cap}-byte limit")
+            }
+            ProtocolError::Unexpected { got, expected } => {
+                write!(f, "unexpected response {got:?} (expected {expected})")
+            }
+            ProtocolError::ServerError(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Read one newline-terminated frame, enforcing [`MAX_FRAME`].
+///
+/// Returns `Ok(None)` on clean EOF before any bytes of a new frame,
+/// [`ProtocolError::PeerClosed`] on EOF mid-frame,
+/// [`ProtocolError::Oversized`] as soon as the limit is crossed (the
+/// rest of the line is *not* drained — the caller should drop the
+/// connection), and [`ProtocolError::Malformed`] on invalid UTF-8.
+pub(crate) fn read_frame(reader: &mut impl io::BufRead) -> Result<Option<String>, ProtocolError> {
+    let mut frame: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, done) = {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                if frame.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ProtocolError::PeerClosed);
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    frame.extend_from_slice(&buf[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    frame.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if frame.len() > MAX_FRAME {
+            return Err(ProtocolError::Oversized { len: frame.len(), cap: MAX_FRAME });
+        }
+        if done {
+            break;
+        }
+    }
+    match String::from_utf8(frame) {
+        Ok(s) => Ok(Some(s)),
+        Err(_) => Err(ProtocolError::Malformed("<invalid utf-8>".to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_split_on_newlines() {
+        let mut r = BufReader::new(&b"MOVE R\nDISCONNECT\n"[..]);
+        assert_eq!(read_frame(&mut r).unwrap(), Some("MOVE R".to_string()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some("DISCONNECT".to_string()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_peer_closed() {
+        let mut r = BufReader::new(&b"MOV"[..]);
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::PeerClosed)));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_the_newline() {
+        let big = vec![b'x'; MAX_FRAME * 4]; // no newline at all
+        let mut r = BufReader::new(&big[..]);
+        match read_frame(&mut r) {
+            Err(ProtocolError::Oversized { len, cap }) => {
+                assert!(len > cap);
+                assert_eq!(cap, MAX_FRAME);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed() {
+        let mut r = BufReader::new(&[0xff, 0xfe, b'\n'][..]);
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::Malformed(_))));
+    }
+
+    #[test]
+    fn timeouts_map_from_io_kinds() {
+        let e: ProtocolError = io::Error::new(io::ErrorKind::WouldBlock, "t").into();
+        assert!(matches!(e, ProtocolError::Timeout));
+        let e: ProtocolError = io::Error::new(io::ErrorKind::TimedOut, "t").into();
+        assert!(matches!(e, ProtocolError::Timeout));
+        let e: ProtocolError = io::Error::new(io::ErrorKind::ConnectionReset, "t").into();
+        assert!(matches!(e, ProtocolError::Io(_)));
+    }
+}

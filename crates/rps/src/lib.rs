@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod error;
 pub mod protocol;
 pub mod server;
 pub mod udp;
 
 pub use client::RpsClient;
+pub use error::{ProtocolError, MAX_FRAME};
 pub use protocol::{Move, Outcome};
 pub use server::RpsServer;
 pub use udp::{UdpRpsClient, UdpRpsServer};

@@ -105,7 +105,7 @@ pub enum Request {
 impl Request {
     /// Parse one request line.
     pub fn parse(line: &str) -> Option<Request> {
-        let mut parts = line.trim().split_whitespace();
+        let mut parts = line.split_whitespace();
         match parts.next()? {
             "MOVE" => Move::parse(parts.next()?).map(Request::Play),
             "DISCONNECT" => Some(Request::Disconnect),
@@ -136,7 +136,7 @@ pub enum Response {
 impl Response {
     /// Parse one response line.
     pub fn parse(line: &str) -> Option<Response> {
-        let mut parts = line.trim().split_whitespace();
+        let mut parts = line.split_whitespace();
         match parts.next()? {
             "RESULT" => {
                 let you = Move::parse(parts.next()?)?;

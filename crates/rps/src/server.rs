@@ -1,9 +1,11 @@
 //! The RPS server: blocking `std::net`, one thread per connection.
 
+use crate::error::{read_frame, ProtocolError};
 use crate::protocol::{Move, Request, Response};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A bound server. Accept loops run on demand via
 /// [`RpsServer::serve_connections`] (tests, examples) or
@@ -11,12 +13,20 @@ use std::thread::JoinHandle;
 #[derive(Debug)]
 pub struct RpsServer {
     listener: TcpListener,
+    read_timeout: Option<Duration>,
 }
 
 impl RpsServer {
     /// Bind to `addr` (use port 0 for an ephemeral port).
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<RpsServer> {
-        Ok(RpsServer { listener: TcpListener::bind(addr)? })
+        Ok(RpsServer { listener: TcpListener::bind(addr)?, read_timeout: None })
+    }
+
+    /// Arm a per-connection read deadline: a client that connects and
+    /// then goes silent is dropped with [`ProtocolError::Timeout`]
+    /// instead of pinning its thread forever.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -26,11 +36,15 @@ impl RpsServer {
 
     /// Accept exactly `n` connections, each on its own thread, then
     /// return the join handles. Each handle yields the rounds played.
-    pub fn serve_connections(&self, n: usize) -> io::Result<Vec<JoinHandle<io::Result<u64>>>> {
+    pub fn serve_connections(
+        &self,
+        n: usize,
+    ) -> io::Result<Vec<JoinHandle<Result<u64, ProtocolError>>>> {
         let mut handles = Vec::with_capacity(n);
         for _ in 0..n {
             let (stream, _) = self.listener.accept()?;
-            handles.push(std::thread::spawn(move || handle_connection(stream)));
+            let timeout = self.read_timeout;
+            handles.push(std::thread::spawn(move || handle_connection(stream, timeout)));
         }
         Ok(handles)
     }
@@ -39,8 +53,9 @@ impl RpsServer {
     pub fn serve_forever(&self) -> io::Result<()> {
         loop {
             let (stream, peer) = self.listener.accept()?;
+            let timeout = self.read_timeout;
             std::thread::spawn(move || {
-                if let Err(e) = handle_connection(stream) {
+                if let Err(e) = handle_connection(stream, timeout) {
                     eprintln!("connection {peer}: {e}");
                 }
             });
@@ -49,12 +64,33 @@ impl RpsServer {
 }
 
 /// Serve one client until `DISCONNECT`/EOF. Returns rounds played.
-fn handle_connection(stream: TcpStream) -> io::Result<u64> {
+///
+/// Malformed lines get an `ERR` reply and the session continues;
+/// oversized frames get a final `ERR` and the connection is dropped
+/// with [`ProtocolError::Oversized`] (the remainder of the line is
+/// never buffered).
+fn handle_connection(
+    stream: TcpStream,
+    read_timeout: Option<Duration>,
+) -> Result<u64, ProtocolError> {
+    stream.set_read_timeout(read_timeout)?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
     let mut round: u64 = 0;
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        let line = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => break, // clean EOF without DISCONNECT
+            Err(e @ ProtocolError::Oversized { .. }) => {
+                let _ = writer.write_all(Response::Err("oversized request".into()).wire().as_bytes());
+                return Err(e);
+            }
+            Err(ProtocolError::Malformed(_)) => {
+                writer.write_all(Response::Err("malformed request".into()).wire().as_bytes())?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         match Request::parse(&line) {
             Some(Request::Play(client_move)) => {
                 round += 1;
@@ -80,31 +116,30 @@ fn handle_connection(stream: TcpStream) -> io::Result<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::MAX_FRAME;
+    use std::io::BufRead;
 
     fn raw_session(lines: &[&str]) -> Vec<String> {
         let server = RpsServer::bind("127.0.0.1:0").unwrap();
         let addr = server.local_addr().unwrap();
-        let handles = {
-            let lines: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
-            let client = std::thread::spawn(move || {
-                let mut stream = TcpStream::connect(addr).unwrap();
-                for l in &lines {
-                    stream.write_all(format!("{l}\n").as_bytes()).unwrap();
-                }
-                // Half-close so the server sees EOF even when the script
-                // never sends DISCONNECT.
-                stream.shutdown(std::net::Shutdown::Write).unwrap();
-                let reader = BufReader::new(stream);
-                reader.lines().map(|l| l.unwrap()).collect::<Vec<_>>()
-            });
-            let h = server.serve_connections(1).unwrap();
-            let out = client.join().unwrap();
-            for handle in h {
-                handle.join().unwrap().unwrap();
+        let lines: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            for l in &lines {
+                stream.write_all(format!("{l}\n").as_bytes()).unwrap();
             }
-            out
-        };
-        handles
+            // Half-close so the server sees EOF even when the script
+            // never sends DISCONNECT.
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let reader = BufReader::new(stream);
+            reader.lines().map(|l| l.unwrap()).collect::<Vec<_>>()
+        });
+        let h = server.serve_connections(1).unwrap();
+        let out = client.join().unwrap();
+        for handle in h {
+            handle.join().unwrap().unwrap();
+        }
+        out
     }
 
     #[test]
@@ -131,5 +166,39 @@ mod tests {
         let out = raw_session(&["MOVE R"]);
         assert_eq!(out.len(), 1);
         assert!(out[0].starts_with("RESULT R R DRAW 1"));
+    }
+
+    #[test]
+    fn oversized_frame_drops_the_connection_with_typed_error() {
+        let server = RpsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let huge = vec![b'A'; MAX_FRAME * 8]; // no newline needed
+            stream.write_all(&huge).unwrap();
+            let reader = BufReader::new(stream);
+            reader.lines().map_while(Result::ok).collect::<Vec<_>>()
+        });
+        let h = server.serve_connections(1).unwrap();
+        let out = client.join().unwrap();
+        let res = h.into_iter().next().unwrap().join().unwrap();
+        assert!(matches!(res, Err(ProtocolError::Oversized { .. })), "got {res:?}");
+        assert!(out.iter().any(|l| l.starts_with("ERR")), "client must see the ERR: {out:?}");
+    }
+
+    #[test]
+    fn silent_client_is_dropped_on_read_timeout() {
+        let mut server = RpsServer::bind("127.0.0.1:0").unwrap();
+        server.set_read_timeout(Some(Duration::from_millis(50)));
+        let addr = server.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+            drop(stream);
+        });
+        let h = server.serve_connections(1).unwrap();
+        let res = h.into_iter().next().unwrap().join().unwrap();
+        assert!(matches!(res, Err(ProtocolError::Timeout)), "got {res:?}");
+        client.join().unwrap();
     }
 }

@@ -6,11 +6,20 @@
 //! identical to the TCP variant (one request/response line per
 //! datagram), and the server tracks per-peer round counters so
 //! interleaved clients each get their own game.
+//!
+//! Datagrams can be dropped, so the client exposes
+//! [`UdpRpsClient::play_with_retry`]: a lost round is retried with
+//! exponential backoff instead of stalling the session. Retries are
+//! safe here because the server treats every `MOVE` as a fresh round —
+//! a duplicate caused by a late-arriving original costs one extra
+//! round, never corrupts state.
 
+use crate::error::{ProtocolError, MAX_FRAME};
 use crate::protocol::{Move, Request, Response};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
 
 /// A bound UDP server.
 #[derive(Debug)]
@@ -32,24 +41,30 @@ impl UdpRpsServer {
 
     /// Serve exactly `n` datagrams, then return. (The UDP server has no
     /// connection boundary, so tests and demos drive it by datagram
-    /// count; `serve_forever` loops this.)
+    /// count; `serve_forever` loops this.) Oversized datagrams get an
+    /// `ERR` reply and count toward `n` like any other request.
     pub fn serve_datagrams(&mut self, n: usize) -> io::Result<()> {
-        let mut buf = [0u8; 512];
+        // One byte of headroom past the cap so truncation is detectable.
+        let mut buf = [0u8; MAX_FRAME + 1];
         for _ in 0..n {
             let (len, peer) = self.socket.recv_from(&mut buf)?;
-            let line = String::from_utf8_lossy(&buf[..len]);
-            let reply = match Request::parse(&line) {
-                Some(Request::Play(client_move)) => {
-                    let round = self.rounds.entry(peer).or_insert(0);
-                    *round += 1;
-                    let server_move = Move::from_index(*round - 1);
-                    Response::Result(client_move, server_move, client_move.against(server_move), *round)
+            let reply = if len > MAX_FRAME {
+                Response::Err("oversized request".into())
+            } else {
+                let line = String::from_utf8_lossy(&buf[..len]);
+                match Request::parse(&line) {
+                    Some(Request::Play(client_move)) => {
+                        let round = self.rounds.entry(peer).or_insert(0);
+                        *round += 1;
+                        let server_move = Move::from_index(*round - 1);
+                        Response::Result(client_move, server_move, client_move.against(server_move), *round)
+                    }
+                    Some(Request::Disconnect) => {
+                        let played = self.rounds.remove(&peer).unwrap_or(0);
+                        Response::Bye(played)
+                    }
+                    None => Response::Err("malformed request".into()),
                 }
-                Some(Request::Disconnect) => {
-                    let played = self.rounds.remove(&peer).unwrap_or(0);
-                    Response::Bye(played)
-                }
-                None => Response::Err("malformed request".into()),
             };
             self.socket.send_to(reply.wire().as_bytes(), peer)?;
         }
@@ -72,43 +87,74 @@ pub struct UdpRpsClient {
 
 impl UdpRpsClient {
     /// Create a client talking to `server`.
-    pub fn connect(server: impl ToSocketAddrs) -> io::Result<UdpRpsClient> {
+    pub fn connect(server: impl ToSocketAddrs) -> Result<UdpRpsClient, ProtocolError> {
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.connect(server)?;
-        socket.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+        socket.set_read_timeout(Some(Duration::from_secs(5)))?;
         Ok(UdpRpsClient { socket })
     }
 
-    fn round_trip(&mut self, req: Request) -> io::Result<Response> {
+    /// Replace the receive deadline (default 5s).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ProtocolError> {
+        self.socket.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn round_trip(&mut self, req: Request) -> Result<Response, ProtocolError> {
         self.socket.send(req.wire().as_bytes())?;
-        let mut buf = [0u8; 512];
+        let mut buf = [0u8; MAX_FRAME + 1];
         let len = self.socket.recv(&mut buf)?;
-        Response::parse(&String::from_utf8_lossy(&buf[..len]))
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad response"))
+        if len > MAX_FRAME {
+            return Err(ProtocolError::Oversized { len, cap: MAX_FRAME });
+        }
+        let line = String::from_utf8_lossy(&buf[..len]).into_owned();
+        Response::parse(&line).ok_or(ProtocolError::Malformed(line))
     }
 
     /// Play one round.
-    pub fn play(&mut self, m: Move) -> io::Result<crate::client::RoundResult> {
+    pub fn play(&mut self, m: Move) -> Result<crate::client::RoundResult, ProtocolError> {
         match self.round_trip(Request::Play(m))? {
             Response::Result(you, server, outcome, round) => {
                 Ok(crate::client::RoundResult { you, server, outcome, round })
             }
-            Response::Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response {other:?} to MOVE"),
-            )),
+            Response::Err(e) => Err(ProtocolError::ServerError(e)),
+            other => {
+                Err(ProtocolError::Unexpected { got: other.wire().trim().to_string(), expected: "RESULT" })
+            }
+        }
+    }
+
+    /// Play one round, absorbing up to `retries` datagram losses: each
+    /// timed-out attempt is re-sent after an exponentially growing
+    /// receive deadline (`base`, `2*base`, …). Non-timeout errors are
+    /// surfaced immediately.
+    pub fn play_with_retry(
+        &mut self,
+        m: Move,
+        retries: u32,
+        base: Duration,
+    ) -> Result<crate::client::RoundResult, ProtocolError> {
+        let mut deadline = base;
+        let mut attempt = 0;
+        loop {
+            self.set_read_timeout(Some(deadline))?;
+            match self.play(m) {
+                Err(ProtocolError::Timeout) if attempt < retries => {
+                    deadline = deadline.saturating_mul(2);
+                    attempt += 1;
+                }
+                other => return other,
+            }
         }
     }
 
     /// End the game; returns rounds played.
-    pub fn disconnect(mut self) -> io::Result<u64> {
+    pub fn disconnect(mut self) -> Result<u64, ProtocolError> {
         match self.round_trip(Request::Disconnect)? {
             Response::Bye(n) => Ok(n),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response {other:?} to DISCONNECT"),
-            )),
+            other => {
+                Err(ProtocolError::Unexpected { got: other.wire().trim().to_string(), expected: "BYE" })
+            }
         }
     }
 }
@@ -160,5 +206,54 @@ mod tests {
         let len = sock.recv(&mut buf).unwrap();
         assert!(String::from_utf8_lossy(&buf[..len]).starts_with("ERR"));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn udp_oversized_datagram_gets_err() {
+        let mut server = UdpRpsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.serve_datagrams(1).unwrap());
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.connect(addr).unwrap();
+        let huge = vec![b'A'; MAX_FRAME * 2];
+        sock.send(&huge).unwrap();
+        let mut buf = [0u8; 128];
+        let len = sock.recv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf[..len]).trim(), "ERR oversized request");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn play_with_retry_absorbs_a_dropped_datagram() {
+        // Server that ignores the first datagram (the "drop") and
+        // serves from the second on.
+        let server_sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = server_sock.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 512];
+            let (_len, _peer) = server_sock.recv_from(&mut buf).unwrap(); // swallow
+            let (len, peer) = server_sock.recv_from(&mut buf).unwrap();
+            let line = String::from_utf8_lossy(&buf[..len]).into_owned();
+            assert!(line.starts_with("MOVE"), "retry must resend the move, got {line:?}");
+            let reply = Response::Result(Move::Rock, Move::Rock, Outcome::Draw, 1);
+            server_sock.send_to(reply.wire().as_bytes(), peer).unwrap();
+        });
+        let mut c = UdpRpsClient::connect(addr).unwrap();
+        let r = c.play_with_retry(Move::Rock, 3, Duration::from_millis(40)).unwrap();
+        assert_eq!(r.outcome, Outcome::Draw);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn udp_timeout_is_typed_when_nobody_answers() {
+        // Bind a peer socket that never replies.
+        let silent = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = silent.local_addr().unwrap();
+        let mut c = UdpRpsClient::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        match c.play(Move::Rock) {
+            Err(ProtocolError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
     }
 }

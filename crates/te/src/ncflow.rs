@@ -174,7 +174,8 @@ pub fn solve_ncflow(
 
     // ---- R2: per-cluster local LPs. ----
     let r2_start = Instant::now();
-    let mut cluster_inputs: Vec<(Vec<(usize, NodeId, NodeId, f64)>, Vec<Transit>)> =
+    type ClusterInput = (Vec<(usize, NodeId, NodeId, f64)>, Vec<Transit>);
+    let mut cluster_inputs: Vec<ClusterInput> =
         (0..k).map(|_| (Vec::new(), Vec::new())).collect();
     for t in &intra {
         cluster_inputs[t.0].0.push(*t);
@@ -298,6 +299,10 @@ fn contract(g: &DiGraph, part: &Partition) -> Contracted {
     Contracted { graph: cg }
 }
 
+/// What a cluster-local solve returns: intra admissions, per-key
+/// transit admissions, and LP pivot count.
+type LocalSolveOutput = (Vec<f64>, Vec<((usize, usize), f64)>, u64);
+
 /// A cluster-local MCF: the induced subgraph plus portal nodes.
 struct LocalProblem {
     graph: DiGraph,
@@ -386,7 +391,7 @@ impl LocalProblem {
         &self,
         paths_per_commodity: usize,
         solver: &dyn LpSolver,
-    ) -> Result<(Vec<f64>, Vec<((usize, usize), f64)>, u64), TeError> {
+    ) -> Result<LocalSolveOutput, TeError> {
         if self.commodities.is_empty() {
             return Ok((Vec::new(), Vec::new(), 0));
         }

@@ -21,16 +21,31 @@ pub struct Criterion {
     _private: (),
 }
 
+fn default_iters() -> u32 {
+    std::env::var("NETREPRO_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("group {name}");
-        BenchmarkGroup {
-            iters: std::env::var("NETREPRO_BENCH_ITERS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(10),
-        }
+        BenchmarkGroup { iters: default_iters() }
+    }
+
+    /// Times one benchmark outside any group (criterion's top-level
+    /// `bench_function`).
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: default_iters(), total_ns: 0, timed_iters: 0 };
+        f(&mut b);
+        b.report(&id.to_string());
+        self
     }
 }
 

@@ -160,16 +160,13 @@ fn parse_item(input: TokenStream) -> (String, Body) {
     // Skip attributes (`#[...]`, including doc comments) and
     // visibility until the `struct`/`enum` keyword.
     while i < tokens.len() {
-        match &tokens[i] {
-            TokenTree::Ident(id) => {
-                let s = id.to_string();
-                if s == "struct" || s == "enum" {
-                    kind = if s == "struct" { "struct" } else { "enum" };
-                    i += 1;
-                    break;
-                }
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = if s == "struct" { "struct" } else { "enum" };
+                i += 1;
+                break;
             }
-            _ => {}
         }
         i += 1;
     }
