@@ -1,0 +1,163 @@
+//! Tier A: the artifact auditor.
+//!
+//! A static pass over [`CodeArtifact`]s that finds each §3.3
+//! [`DefectKind`] **without executing anything and without reading the
+//! latent defect list** — only the structural
+//! [`netrepro_core::llm::CodeSurface`] is inspected:
+//!
+//! * **TypeError** — intra-component signature/call consistency: a
+//!   call site whose argument types disagree with the callee's
+//!   declared parameters (what a compiler's type checker sees).
+//! * **InteropMismatch** — cross-component interface matching: each
+//!   shared type's structural fingerprint is matched against the
+//!   spec-pinned registry value ([`canonical_fingerprint`]); a
+//!   component that drifted from the layout its peers use is flagged,
+//!   with the count of agreeing peers as evidence.
+//! * **SimpleLogic** — the off-by-one archetype: a loop whose body
+//!   exercises a bound different from the one the surrounding code
+//!   declares.
+//! * **ComplexLogic** — a LoC-profile heuristic: clean code carries
+//!   roughly [`expected_branches`]`(loc)` conditional branches (±8%);
+//!   a collapse below 60% of the profile means the hard part of the
+//!   algorithm was "simplified" away.
+//!
+//! Severity mapping: type errors and interop mismatches would stop
+//! compilation/integration → [`Severity::Error`]; the two logic
+//! heuristics need execution to confirm → [`Severity::Warning`].
+
+use crate::finding::{AnalysisReport, Finding, Severity};
+use netrepro_core::llm::{canonical_fingerprint, expected_branches, CodeArtifact};
+use netrepro_core::paper::PaperSpec;
+
+/// Branch-count fraction of the LoC profile below which control flow
+/// counts as collapsed (clean surfaces stay within ±8%).
+pub const BRANCH_COLLAPSE_FRACTION: f64 = 0.6;
+
+fn subject(spec: &PaperSpec, a: &CodeArtifact) -> String {
+    spec.components
+        .get(a.component)
+        .map(|c| c.name.clone())
+        .unwrap_or_else(|| format!("component {}", a.component))
+}
+
+/// Detect call sites whose argument types disagree with the callee's
+/// signature. Returns one message per offending call site.
+pub fn detect_type_errors(a: &CodeArtifact) -> Vec<String> {
+    let mut out = Vec::new();
+    for c in &a.surface.calls {
+        match a.surface.signatures.iter().find(|s| s.fn_id == c.callee) {
+            Some(sig) if sig.params == c.args => {}
+            Some(sig) => out.push(format!(
+                "fn {} calls fn {} with argument types {:?} but the signature declares {:?}",
+                c.caller, c.callee, c.args, sig.params
+            )),
+            None => out.push(format!("fn {} calls undeclared fn {}", c.caller, c.callee)),
+        }
+    }
+    out
+}
+
+/// Detect shared-type exports that drifted from the spec-pinned
+/// interface registry. `peers` is the full artifact set, used to report
+/// how many peer components agree with the registry on the same type.
+pub fn detect_interop_mismatches(a: &CodeArtifact, peers: &[CodeArtifact]) -> Vec<String> {
+    let mut out = Vec::new();
+    for e in &a.surface.exports {
+        let canon = canonical_fingerprint(e.type_id);
+        if e.fingerprint != canon {
+            let agreeing = peers
+                .iter()
+                .filter(|p| {
+                    p.component != a.component
+                        && p.surface
+                            .exports
+                            .iter()
+                            .any(|pe| pe.type_id == e.type_id && pe.fingerprint == canon)
+                })
+                .count();
+            out.push(format!(
+                "shared type {} has fingerprint {:#018x}, but the spec pins {:#018x} \
+                 ({agreeing} peer component(s) agree with the spec)",
+                e.type_id, e.fingerprint, canon
+            ));
+        }
+    }
+    out
+}
+
+/// Detect loops whose exercised bound disagrees with the declared one.
+pub fn detect_simple_logic(a: &CodeArtifact) -> Vec<String> {
+    a.surface
+        .loops
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.exercised_bound != l.declared_bound)
+        .map(|(i, l)| {
+            format!(
+                "loop {i} declares bound {} but exercises {} (off by {})",
+                l.declared_bound,
+                l.exercised_bound,
+                l.exercised_bound as i64 - l.declared_bound as i64
+            )
+        })
+        .collect()
+}
+
+/// Detect collapsed control flow: far fewer branches than the LoC
+/// profile predicts for code of this size.
+pub fn detect_complex_logic(a: &CodeArtifact) -> Vec<String> {
+    let expected = expected_branches(a.loc);
+    if (a.surface.branches as f64) < BRANCH_COLLAPSE_FRACTION * expected {
+        vec![format!(
+            "{} branch(es) across {} LoC where the profile predicts ~{:.0}: \
+             control flow collapsed below {:.0}% of the expected density",
+            a.surface.branches,
+            a.loc,
+            expected,
+            100.0 * BRANCH_COLLAPSE_FRACTION
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Audit a set of component artifacts against their paper spec.
+pub fn audit(spec: &PaperSpec, artifacts: &[CodeArtifact]) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+    for a in artifacts {
+        let subj = subject(spec, a);
+        for m in detect_type_errors(a) {
+            report.push(Finding {
+                rule: "type-error".into(),
+                severity: Severity::Error,
+                subject: subj.clone(),
+                message: m,
+            });
+        }
+        for m in detect_interop_mismatches(a, artifacts) {
+            report.push(Finding {
+                rule: "interop-mismatch".into(),
+                severity: Severity::Error,
+                subject: subj.clone(),
+                message: m,
+            });
+        }
+        for m in detect_simple_logic(a) {
+            report.push(Finding {
+                rule: "simple-logic".into(),
+                severity: Severity::Warning,
+                subject: subj.clone(),
+                message: m,
+            });
+        }
+        for m in detect_complex_logic(a) {
+            report.push(Finding {
+                rule: "complex-logic".into(),
+                severity: Severity::Warning,
+                subject: subj.clone(),
+                message: m,
+            });
+        }
+    }
+    report
+}

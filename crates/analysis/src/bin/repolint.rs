@@ -1,0 +1,53 @@
+//! The workspace invariant linter, as a CI-runnable binary:
+//! `cargo run -p analysis --bin repolint [-- --root DIR --allowlist FILE]`.
+//!
+//! Exit status: 0 when no error-severity findings remain after the
+//! allowlist is applied, 1 otherwise, 2 on usage/IO problems.
+
+use analysis::repolint::{lint, LintConfig};
+use analysis::Severity;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist = Some(PathBuf::from(v)),
+                None => return usage("--allowlist needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("usage: repolint [--root DIR] [--allowlist FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let allowlist = allowlist.unwrap_or_else(|| root.join("repolint.allow"));
+    match lint(&root, &LintConfig::default(), &allowlist) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            if report.count(Severity::Error) > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("repolint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("repolint: {msg}\nusage: repolint [--root DIR] [--allowlist FILE]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,147 @@
+//! The finding model shared by both analysis tiers: the artifact
+//! auditor ([`crate::audit`]) and the workspace linter
+//! ([`crate::repolint`]) both report through [`Finding`] /
+//! [`AnalysisReport`], so the CLI, the CI steps and the pre-execution
+//! gate consume one shape.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational — nothing fails on it (allowlist bookkeeping).
+    Info,
+    /// Heuristic evidence of a defect; execution should confirm.
+    Warning,
+    /// A defect that would stop compilation, integration, or CI.
+    Error,
+}
+
+impl Severity {
+    /// Parse a user-facing severity name.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" | "warn" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One finding from either tier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Finding {
+    /// Which rule or detector produced it (e.g. `type-error`,
+    /// `repolint/unwrap`).
+    pub rule: String,
+    /// Severity.
+    pub severity: Severity,
+    /// What the finding is about: a component name for the auditor, a
+    /// `path:line` for the linter.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A batch of findings plus rendering/summary helpers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// All findings, in detection order.
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// Add a finding.
+    pub fn push(&mut self, f: Finding) {
+        self.findings.push(f);
+    }
+
+    /// Merge another report into this one.
+    pub fn extend(&mut self, other: AnalysisReport) {
+        self.findings.extend(other.findings);
+    }
+
+    /// Number of findings at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == sev).count()
+    }
+
+    /// Number of findings at `sev` or worse.
+    pub fn count_at_least(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity >= sev).count()
+    }
+
+    /// The worst finding, if any (first among equals).
+    pub fn worst(&self) -> Option<&Finding> {
+        self.findings.iter().max_by_key(|f| f.severity)
+    }
+
+    /// One-line summary (`2 errors, 1 warning, 0 info`).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} error(s), {} warning(s), {} info",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        )
+    }
+
+    /// Render the text report (one line per finding plus the summary).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}: [{}] {}: {}\n", f.severity, f.rule, f.subject, f.message));
+        }
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        out
+    }
+
+    /// Render as JSON.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{\"findings\":[]}".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, sev: Severity) -> Finding {
+        Finding { rule: rule.into(), severity: sev, subject: "s".into(), message: "m".into() }
+    }
+
+    #[test]
+    fn severity_orders_and_parses() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn counts_and_summary() {
+        let mut r = AnalysisReport::default();
+        r.push(f("a", Severity::Error));
+        r.push(f("b", Severity::Warning));
+        r.push(f("c", Severity::Warning));
+        assert_eq!(r.count_at_least(Severity::Warning), 3);
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.worst().unwrap().rule, "a");
+        assert!(r.render_text().contains("1 error(s), 2 warning(s)"));
+        assert!(r.render_json().contains("\"rule\""));
+    }
+}

@@ -1,0 +1,82 @@
+//! The pre-execution gate: audit findings folded into the
+//! `core::validate` / `core::diagnosis` pipeline.
+//!
+//! Execution-based differential validation is expensive and, on a
+//! prototype that would not even compile or integrate, meaningless.
+//! The gate turns an [`AnalysisReport`] into the
+//! [`netrepro_core::validate::StaticGate`] summary and from there into
+//! a [`Diagnosis`]: error-severity findings yield
+//! [`RootCause::StaticallyRejected`] before anything runs.
+
+use crate::audit;
+use crate::finding::{AnalysisReport, Severity};
+use netrepro_core::diagnosis::{diagnose_static, Diagnosis};
+use netrepro_core::llm::CodeArtifact;
+use netrepro_core::paper::PaperSpec;
+use netrepro_core::validate::StaticGate;
+
+#[allow(unused_imports)] // doc link
+use netrepro_core::diagnosis::RootCause;
+
+/// Summarize an analysis report into the core gate type.
+pub fn static_gate(report: &AnalysisReport) -> StaticGate {
+    StaticGate {
+        errors: report.count(Severity::Error),
+        warnings: report.count(Severity::Warning),
+        worst: report
+            .worst()
+            .map(|f| format!("[{}] {}: {}", f.rule, f.subject, f.message))
+            .unwrap_or_default(),
+    }
+}
+
+/// Audit `artifacts` and diagnose the result. This is the whole
+/// pre-execution path: returns the findings (for display) and the
+/// diagnosis (`StaticallyRejected` when any error-severity finding is
+/// present).
+pub fn gate_artifacts(spec: &PaperSpec, artifacts: &[CodeArtifact]) -> (AnalysisReport, Diagnosis) {
+    let report = audit::audit(spec, artifacts);
+    let diagnosis = diagnose_static(&static_gate(&report));
+    (report, diagnosis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrepro_core::diagnosis::RootCause;
+    use netrepro_core::llm::DefectKind;
+    use netrepro_core::paper::TargetSystem;
+
+    #[test]
+    fn error_findings_reject_before_execution() {
+        let spec = PaperSpec::for_system(TargetSystem::NcFlow);
+        let arts = vec![
+            CodeArtifact::with_defects(0, 200, 2, vec![DefectKind::TypeError]),
+            CodeArtifact::with_defects(1, 150, 2, vec![]),
+        ];
+        let (report, d) = gate_artifacts(&spec, &arts);
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(d.cause, RootCause::StaticallyRejected);
+    }
+
+    #[test]
+    fn warnings_alone_defer_to_execution() {
+        let spec = PaperSpec::for_system(TargetSystem::NcFlow);
+        let arts = vec![CodeArtifact::with_defects(0, 200, 2, vec![DefectKind::SimpleLogic])];
+        let (report, d) = gate_artifacts(&spec, &arts);
+        assert_eq!(report.count(Severity::Error), 0);
+        assert_eq!(report.count(Severity::Warning), 1);
+        assert_eq!(d.cause, RootCause::Inconclusive);
+    }
+
+    #[test]
+    fn clean_artifacts_pass_as_faithful() {
+        let spec = PaperSpec::for_system(TargetSystem::ApKeep);
+        let arts: Vec<CodeArtifact> = (0..spec.components.len())
+            .map(|i| CodeArtifact::with_defects(i, 120, 2, vec![]))
+            .collect();
+        let (report, d) = gate_artifacts(&spec, &arts);
+        assert!(report.findings.is_empty());
+        assert_eq!(d.cause, RootCause::Faithful);
+    }
+}

@@ -1,0 +1,33 @@
+//! Static analysis for the netrepro workspace — two tiers, one
+//! finding model.
+//!
+//! **Tier A** ([`audit`]) inspects generated [`CodeArtifact`]s before
+//! anything executes: the §3.3 defect taxonomy (type errors, interop
+//! mismatches, simplified logic) is detected from the structural
+//! [`netrepro_core::llm::CodeSurface`] alone, and [`gate`] folds the
+//! result into `core::diagnosis` as a pre-execution gate
+//! (`RootCause::StaticallyRejected`).
+//!
+//! **Tier B** ([`repolint`]) lints the workspace's own sources for
+//! invariants clippy cannot express — wall-clock reads in seeded
+//! modules, unwraps on pipeline boundaries, hash-order iteration
+//! feeding deterministic outputs, panic policy — with a checked-in
+//! burn-down allowlist (`repolint.allow`). Run it as
+//! `cargo run -p analysis --bin repolint`.
+//!
+//! Both tiers report through [`finding::Finding`] /
+//! [`finding::AnalysisReport`] and both run in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod finding;
+pub mod gate;
+pub mod repolint;
+pub mod selfcheck;
+
+pub use finding::{AnalysisReport, Finding, Severity};
+
+#[allow(unused_imports)] // doc link
+use netrepro_core::llm::CodeArtifact;

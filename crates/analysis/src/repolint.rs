@@ -1,0 +1,603 @@
+//! Tier B: the workspace invariant linter.
+//!
+//! A lightweight Rust-source scanner enforcing repo invariants clippy
+//! cannot express:
+//!
+//! * **`wallclock`** — no `Instant::now`/`SystemTime` in the seeded /
+//!   deterministic modules (`core::fault`, `core::llm`,
+//!   `core::session`, `lp`, `bdd`): one seed must reproduce one run,
+//!   and wall-clock reads silently break that.
+//! * **`unwrap`** — no `.unwrap()`/`.expect(` in non-test library
+//!   code: pipeline boundaries carry typed errors (`TeError`,
+//!   `ProtocolError`, `LpError`), so a panic is always a policy
+//!   violation, not a convenience.
+//! * **`hashiter`** — no iteration over `HashMap`/`HashSet` in code
+//!   that feeds fault traces, transcripts or validation rows:
+//!   `RandomState` makes iteration order (and float summation order)
+//!   run-dependent.
+//! * **`panicpolicy`** — no `panic!`/`unreachable!`/`todo!`/
+//!   `unimplemented!` in non-test library code, with a per-crate
+//!   exemption for the `bench` binaries (measurement harnesses whose
+//!   declared policy is panic-on-error).
+//!
+//! Violations are [`Finding`]s like Tier A's. A checked-in allowlist
+//! (`repolint.allow`, `rule path max-count` per line) lets existing
+//! violations be burned down incrementally: a file may carry at most
+//! its allowlisted count, new violations fail immediately, and stale
+//! or over-generous entries surface as info findings so the allowlist
+//! only ever shrinks.
+//!
+//! The scanner strips comments, strings and `#[cfg(test)]` regions
+//! before matching, so documentation examples and test code never
+//! count.
+
+use crate::finding::{AnalysisReport, Finding, Severity};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which files each path-scoped rule applies to, and which crates are
+/// exempt from the panic-free policy.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Repo-relative path prefixes where wall-clock reads are banned.
+    pub wallclock_files: Vec<String>,
+    /// Repo-relative path prefixes where hash-order iteration is banned.
+    pub hashiter_files: Vec<String>,
+    /// Crate directory names whose declared policy allows panics and
+    /// unwraps (measurement binaries).
+    pub panic_allowed_crates: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            wallclock_files: vec![
+                "crates/core/src/fault.rs".into(),
+                "crates/core/src/llm.rs".into(),
+                "crates/core/src/session.rs".into(),
+                "crates/lp/src/".into(),
+                "crates/bdd/src/".into(),
+            ],
+            hashiter_files: vec![
+                "crates/core/src/fault.rs".into(),
+                "crates/core/src/session.rs".into(),
+                "crates/core/src/transcript.rs".into(),
+                "crates/core/src/timeline.rs".into(),
+                "crates/te/src/ncflow.rs".into(),
+            ],
+            panic_allowed_crates: vec!["bench".into()],
+        }
+    }
+}
+
+/// Replace comments, string literals and char literals with spaces,
+/// preserving line structure, so pattern matching only ever sees code.
+fn strip_non_code(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                }
+                'r' if next == Some('"') || (next == Some('#') && b.get(i + 2) == Some(&'"')) => {
+                    // Raw string r"..." or r#"..."# (one hash is all the
+                    // workspace uses).
+                    let hashes = usize::from(next == Some('#'));
+                    state = State::RawStr(hashes);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1 + hashes; // consume r, hashes; the quote falls out below
+                    if hashes > 0 {
+                        out.push(' ');
+                    }
+                }
+                '\'' => {
+                    // Char literal ('x', '\n') vs lifetime ('a in &'a T):
+                    // a literal closes with a quote within two chars.
+                    let is_char = matches!(
+                        (next, b.get(i + 2), b.get(i + 3)),
+                        (Some('\\'), _, _) | (Some(_), Some('\''), _)
+                    );
+                    if is_char {
+                        state = State::Char;
+                    }
+                    out.push(if is_char { ' ' } else { '\'' });
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    if c == '"' {
+                        state = State::Code;
+                    }
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            State::RawStr(hashes) => {
+                let closes = c == '"'
+                    && (0..hashes).all(|h| b.get(i + 1 + h) == Some(&'#'));
+                if closes {
+                    state = State::Code;
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += hashes;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            State::Char => {
+                if c == '\'' {
+                    state = State::Code;
+                }
+                out.push(' ');
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Mark which (0-based) lines fall inside a `#[cfg(test)]` item, by
+/// brace-balancing from the attribute onward. Operates on stripped
+/// source so braces in strings/comments cannot confuse the count.
+fn test_region_mask(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut pending = false;
+    let mut depth: i64 = 0;
+    let mut in_region = false;
+    for (i, line) in lines.iter().enumerate() {
+        if !in_region && !pending && line.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        if pending || in_region {
+            mask[i] = true;
+            let opens = line.chars().filter(|&c| c == '{').count() as i64;
+            let closes = line.chars().filter(|&c| c == '}').count() as i64;
+            if pending && opens > 0 {
+                pending = false;
+                in_region = true;
+            }
+            depth += opens - closes;
+            if in_region && depth <= 0 {
+                in_region = false;
+                depth = 0;
+            }
+        }
+    }
+    mask
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` values in this (stripped)
+/// file: `let [mut] name = HashMap::new()`, `let [mut] name: HashMap<`
+/// and struct fields `name: HashMap<`.
+fn hash_bound_idents(stripped: &str) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in stripped.lines() {
+        if !line.contains("HashMap") && !line.contains("HashSet") {
+            continue;
+        }
+        // `let [mut] name` binding on the same line.
+        if let Some(pos) = line.find("let ") {
+            let rest = line[pos + 4..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let ident: String =
+                rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if !ident.is_empty() {
+                idents.push(ident);
+                continue;
+            }
+        }
+        // `name: HashMap<` / `name: HashSet<` (field or typed binding).
+        for ty in ["HashMap<", "HashSet<"] {
+            if let Some(pos) = line.find(ty) {
+                let before = line[..pos].trim_end();
+                if let Some(before) = before.strip_suffix(':') {
+                    let ident: String = before
+                        .chars()
+                        .rev()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect::<String>()
+                        .chars()
+                        .rev()
+                        .collect();
+                    if !ident.is_empty() {
+                        idents.push(ident);
+                    }
+                }
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// Does this (stripped) line iterate over `ident` in hash order?
+fn iterates_hash(line: &str, ident: &str) -> bool {
+    for m in
+        [".iter()", ".iter_mut()", ".keys()", ".values()", ".values_mut()", ".into_iter()", ".drain("]
+    {
+        if line.contains(&format!("{ident}{m}")) {
+            return true;
+        }
+    }
+    for pre in ["in &mut ", "in &", "in "] {
+        if let Some(pos) = line.find(&format!("{pre}{ident}")) {
+            let end = pos + pre.len() + ident.len();
+            let boundary = line[end..]
+                .chars()
+                .next()
+                .map(|c| !(c.is_alphanumeric() || c == '_'))
+                .unwrap_or(true);
+            if boundary {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn path_matches(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| rel == p || (p.ends_with('/') && rel.starts_with(p.as_str())))
+}
+
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/").and_then(|r| r.split('/').next())
+}
+
+/// Scan one file (already read and made repo-relative) for violations.
+fn scan_file(rel: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
+    let stripped = strip_non_code(src);
+    let mask = test_region_mask(&stripped);
+    let hash_idents = hash_bound_idents(&stripped);
+    let panics_allowed = crate_of(rel)
+        .map(|c| config.panic_allowed_crates.iter().any(|a| a == c))
+        .unwrap_or(false);
+    let wallclock = path_matches(rel, &config.wallclock_files);
+    let hashiter = path_matches(rel, &config.hashiter_files);
+
+    let mut out = Vec::new();
+    let mut push = |rule: &str, line_no: usize, message: String| {
+        out.push(Finding {
+            rule: format!("repolint/{rule}"),
+            severity: Severity::Error,
+            subject: format!("{rel}:{}", line_no + 1),
+            message,
+        });
+    };
+
+    for (i, line) in stripped.lines().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue; // test code is exempt from every rule
+        }
+        if wallclock {
+            for pat in ["Instant::now", "SystemTime"] {
+                if line.contains(pat) {
+                    push("wallclock", i, format!("`{pat}` in a seeded/deterministic module"));
+                }
+            }
+        }
+        if !panics_allowed {
+            for pat in [".unwrap()", ".expect("] {
+                if line.contains(pat) {
+                    push("unwrap", i, format!("`{pat}` in non-test library code"));
+                }
+            }
+            for pat in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
+                if line.contains(pat) {
+                    push("panicpolicy", i, format!("`{pat}` in non-test library code"));
+                }
+            }
+        }
+        if hashiter {
+            for ident in &hash_idents {
+                if iterates_hash(line, ident) {
+                    push(
+                        "hashiter",
+                        i,
+                        format!("iteration over hash-ordered `{ident}` feeds deterministic output"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the workspace at `root`: every `crates/*/src` tree plus the
+/// root package's `src/`. Returns all violations as error findings.
+pub fn scan(root: &Path, config: &LintConfig) -> io::Result<AnalysisReport> {
+    let mut src_dirs = vec![root.join("src")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut names: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        names.sort();
+        for c in names {
+            src_dirs.push(c.join("src"));
+        }
+    }
+    let mut files = Vec::new();
+    for d in src_dirs {
+        if d.is_dir() {
+            walk(&d, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = AnalysisReport::default();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let src = fs::read_to_string(f)?;
+        for finding in scan_file(&rel, &src, config) {
+            report.push(finding);
+        }
+    }
+    Ok(report)
+}
+
+/// The checked-in burn-down allowlist: `rule path max-count` per line,
+/// `#` comments. Counts are per (rule, file); anything beyond the
+/// count fails.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist format. Unparseable lines are an error — a
+    /// silently ignored allowlist entry would mask real violations.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = BTreeMap::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(count), None) => {
+                    let count: usize = count
+                        .parse()
+                        .map_err(|_| format!("line {}: bad count `{count}`", no + 1))?;
+                    entries.insert((rule.to_string(), path.to_string()), count);
+                }
+                _ => return Err(format!("line {}: expected `rule path count`", no + 1)),
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Load from a file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Total allowed violations across all entries.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Apply the allowlist to a raw scan report. Violations within an
+/// entry's budget are dropped; excess violations stay as errors (with
+/// the budget noted); stale or over-generous entries become info
+/// findings so the list only ever shrinks.
+pub fn apply_allowlist(raw: &AnalysisReport, allow: &Allowlist) -> AnalysisReport {
+    // Group findings by (rule, file).
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in &raw.findings {
+        let file = f.subject.rsplit_once(':').map(|(p, _)| p.to_string()).unwrap_or_default();
+        let rule = f.rule.strip_prefix("repolint/").unwrap_or(&f.rule).to_string();
+        groups.entry((rule, file)).or_default().push(f.clone());
+    }
+    let mut out = AnalysisReport::default();
+    for (key, found) in &groups {
+        let budget = allow.entries.get(key).copied().unwrap_or(0);
+        if found.len() > budget {
+            for f in found {
+                let mut f = f.clone();
+                f.message =
+                    format!("{} ({} found, {budget} allowlisted)", f.message, found.len());
+                out.push(f);
+            }
+        } else if found.len() < budget {
+            out.push(Finding {
+                rule: "repolint/allowlist".into(),
+                severity: Severity::Info,
+                subject: key.1.clone(),
+                message: format!(
+                    "allowlist grants {budget} `{}` but only {} remain — shrink the entry",
+                    key.0,
+                    found.len()
+                ),
+            });
+        }
+    }
+    for (key, budget) in &allow.entries {
+        if !groups.contains_key(key) {
+            out.push(Finding {
+                rule: "repolint/allowlist".into(),
+                severity: Severity::Info,
+                subject: key.1.clone(),
+                message: format!(
+                    "stale allowlist entry: no `{}` violations remain (granted {budget})",
+                    key.0
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Scan `root` and apply the allowlist at `allowlist_path`. The linter
+/// passes when the returned report has no error findings.
+pub fn lint(
+    root: &Path,
+    config: &LintConfig,
+    allowlist_path: &Path,
+) -> Result<AnalysisReport, String> {
+    let raw = scan(root, config).map_err(|e| format!("scan failed: {e}"))?;
+    let allow = Allowlist::load(allowlist_path)?;
+    Ok(apply_allowlist(&raw, &allow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_removes_comments_strings_and_chars() {
+        let src = r#"let a = "x.unwrap()"; // .expect(
+/* panic!( */ let c = 'x'; let s = b.unwrap();"#;
+        let stripped = strip_non_code(src);
+        assert!(!stripped.contains(".expect("));
+        assert!(!stripped.contains("panic!("));
+        assert!(stripped.contains("b.unwrap()"));
+        assert!(!stripped.contains("\"x.unwrap()\""));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let s = strip_non_code("fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }");
+        assert!(s.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn test_regions_are_masked() {
+        let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn lib2() { c.unwrap(); }\n";
+        let stripped = strip_non_code(src);
+        let mask = test_region_mask(&stripped);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn hash_idents_are_harvested_and_iteration_flagged() {
+        let src = "let mut key_min: HashMap<(usize, usize), f64> = HashMap::new();\nlet x: f64 = key_min.values().sum();\nfor k in &key_min { }\nlet fine = vec.iter();\n";
+        let idents = hash_bound_idents(src);
+        assert_eq!(idents, vec!["key_min".to_string()]);
+        assert!(iterates_hash("key_min.values().sum()", "key_min"));
+        assert!(iterates_hash("for k in &key_min {", "key_min"));
+        assert!(!iterates_hash("let fine = vec.iter();", "key_min"));
+        assert!(!iterates_hash("key_min.get(&k)", "key_min"));
+    }
+
+    #[test]
+    fn allowlist_budgets_stale_and_excess() {
+        let mut raw = AnalysisReport::default();
+        for line in [3, 9] {
+            raw.push(Finding {
+                rule: "repolint/unwrap".into(),
+                severity: Severity::Error,
+                subject: format!("crates/x/src/lib.rs:{line}"),
+                message: "`.unwrap()` in non-test library code".into(),
+            });
+        }
+        let allow =
+            Allowlist::parse("# comment\nunwrap crates/x/src/lib.rs 2\nwallclock crates/y/src/lib.rs 1\n")
+                .unwrap();
+        let applied = apply_allowlist(&raw, &allow);
+        assert_eq!(applied.count(Severity::Error), 0, "{applied:?}");
+        // The wallclock entry is stale → info.
+        assert_eq!(applied.count(Severity::Info), 1);
+
+        let tight = Allowlist::parse("unwrap crates/x/src/lib.rs 1\n").unwrap();
+        let failed = apply_allowlist(&raw, &tight);
+        assert_eq!(failed.count(Severity::Error), 2, "excess keeps the whole group visible");
+    }
+
+    #[test]
+    fn allowlist_rejects_malformed_lines() {
+        assert!(Allowlist::parse("unwrap too few").is_err());
+        assert!(Allowlist::parse("unwrap a b c d").is_err());
+        assert!(Allowlist::parse("unwrap path NaN").is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! The auditor's own acceptance test, runnable from CI
+//! (`netrepro analyze --self-check`): across every target system,
+//! prompt style and a sweep of seeds, the static detectors must agree
+//! *exactly* with the generator's latent defect list — every seeded
+//! defect detected, zero false positives — and artifacts with all
+//! defects fixed must audit clean.
+
+use crate::audit;
+use netrepro_core::llm::{CodeArtifact, DefectKind, SimulatedLlm};
+use netrepro_core::paper::{PaperSpec, TargetSystem};
+use netrepro_core::prompt::PromptStyle;
+
+/// Tally of a completed self-check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfCheckStats {
+    /// Artifacts audited (raw + fixed).
+    pub artifacts: usize,
+    /// Latent defects present, all of which were detected.
+    pub defects: usize,
+}
+
+const ALL_KINDS: [DefectKind; 4] = [
+    DefectKind::TypeError,
+    DefectKind::InteropMismatch,
+    DefectKind::SimpleLogic,
+    DefectKind::ComplexLogic,
+];
+
+fn detected(a: &CodeArtifact, peers: &[CodeArtifact], kind: DefectKind) -> bool {
+    match kind {
+        DefectKind::TypeError => !audit::detect_type_errors(a).is_empty(),
+        DefectKind::InteropMismatch => !audit::detect_interop_mismatches(a, peers).is_empty(),
+        DefectKind::SimpleLogic => !audit::detect_simple_logic(a).is_empty(),
+        DefectKind::ComplexLogic => !audit::detect_complex_logic(a).is_empty(),
+    }
+}
+
+/// Run the self-check over `seeds_per_config` seeds per (system,
+/// style) pair. Returns the tally, or a description of the first
+/// disagreement between detectors and ground truth.
+pub fn self_check(seeds_per_config: u64) -> Result<SelfCheckStats, String> {
+    let mut stats = SelfCheckStats::default();
+    let systems = [
+        TargetSystem::NcFlow,
+        TargetSystem::Arrow,
+        TargetSystem::ApKeep,
+        TargetSystem::ApVerifier,
+        TargetSystem::RockPaperScissors,
+    ];
+    let styles =
+        [PromptStyle::Monolithic, PromptStyle::ModularText, PromptStyle::ModularPseudocode];
+    for sys in systems {
+        let spec = PaperSpec::for_system(sys);
+        for style in styles {
+            for seed in 0..seeds_per_config {
+                let mut llm = SimulatedLlm::new(seed);
+                let artifacts: Vec<CodeArtifact> = spec
+                    .components
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| llm.implement(c, i, style))
+                    .collect();
+                for a in &artifacts {
+                    stats.artifacts += 1;
+                    for kind in ALL_KINDS {
+                        let truth = a.has(kind);
+                        let found = detected(a, &artifacts, kind);
+                        if truth != found {
+                            return Err(format!(
+                                "{sys:?}/{style:?}/seed {seed}/component {}: {kind:?} \
+                                 latent={truth} detected={found}",
+                                a.component
+                            ));
+                        }
+                        if truth {
+                            stats.defects += 1;
+                        }
+                    }
+                }
+                // Fixing every defect must leave a surface the auditor
+                // finds nothing on (zero false positives after repair).
+                for a in &artifacts {
+                    let mut fixed = a.clone();
+                    for kind in ALL_KINDS {
+                        while fixed.has(kind) {
+                            fixed.fix(kind);
+                        }
+                    }
+                    stats.artifacts += 1;
+                    for kind in ALL_KINDS {
+                        if detected(&fixed, &artifacts, kind) {
+                            return Err(format!(
+                                "{sys:?}/{style:?}/seed {seed}/component {}: {kind:?} \
+                                 falsely detected on a fully fixed artifact",
+                                a.component
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_check_passes_over_a_seed_sweep() {
+        let stats = self_check(6).expect("self-check must pass");
+        assert!(stats.defects > 100, "sweep too small to mean anything: {stats:?}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Tier A detector tests: one fixture artifact per [`DefectKind`],
+//! a clean artifact asserting zero false positives, and proof the
+//! detectors read only the surface (never the latent defect list).
+
+use analysis::audit::{
+    audit, detect_complex_logic, detect_interop_mismatches, detect_simple_logic,
+    detect_type_errors,
+};
+use analysis::Severity;
+use netrepro_core::llm::{CodeArtifact, DefectKind};
+use netrepro_core::paper::{PaperSpec, TargetSystem};
+
+fn fleet(defective: usize, kind: DefectKind) -> Vec<CodeArtifact> {
+    (0..4)
+        .map(|i| {
+            let defects = if i == defective { vec![kind] } else { vec![] };
+            CodeArtifact::with_defects(i, 180, 3, defects)
+        })
+        .collect()
+}
+
+#[test]
+fn type_error_fixture_is_detected() {
+    let arts = fleet(1, DefectKind::TypeError);
+    assert!(detect_type_errors(&arts[0]).is_empty());
+    let msgs = detect_type_errors(&arts[1]);
+    assert_eq!(msgs.len(), 1, "{msgs:?}");
+    assert!(msgs[0].contains("argument types"), "{msgs:?}");
+}
+
+#[test]
+fn interop_mismatch_fixture_is_detected_with_peer_evidence() {
+    let arts = fleet(2, DefectKind::InteropMismatch);
+    let msgs = detect_interop_mismatches(&arts[2], &arts);
+    assert_eq!(msgs.len(), 1, "{msgs:?}");
+    assert!(msgs[0].contains("3 peer component(s) agree"), "{msgs:?}");
+    assert!(detect_interop_mismatches(&arts[0], &arts).is_empty());
+}
+
+#[test]
+fn simple_logic_fixture_is_detected_as_off_by_one() {
+    let arts = fleet(0, DefectKind::SimpleLogic);
+    let msgs = detect_simple_logic(&arts[0]);
+    assert_eq!(msgs.len(), 1, "{msgs:?}");
+    assert!(msgs[0].contains("off by 1"), "{msgs:?}");
+    assert!(detect_simple_logic(&arts[1]).is_empty());
+}
+
+#[test]
+fn complex_logic_fixture_is_detected_as_branch_collapse() {
+    let arts = fleet(3, DefectKind::ComplexLogic);
+    let msgs = detect_complex_logic(&arts[3]);
+    assert_eq!(msgs.len(), 1, "{msgs:?}");
+    assert!(msgs[0].contains("collapsed"), "{msgs:?}");
+    assert!(detect_complex_logic(&arts[0]).is_empty());
+}
+
+#[test]
+fn clean_artifacts_have_zero_false_positives_across_sizes() {
+    // Sweep sizes and interop widths: a defect-free surface must never
+    // trip any detector (the ±8% LoC-profile jitter stays inside the
+    // 60% collapse threshold by construction).
+    for loc in [5, 9, 23, 60, 150, 400, 910, 2000] {
+        for shared in 0..4 {
+            let arts: Vec<CodeArtifact> =
+                (0..3).map(|i| CodeArtifact::with_defects(i, loc, shared, vec![])).collect();
+            for a in &arts {
+                assert!(detect_type_errors(a).is_empty(), "loc {loc}");
+                assert!(detect_interop_mismatches(a, &arts).is_empty(), "loc {loc}");
+                assert!(detect_simple_logic(a).is_empty(), "loc {loc}");
+                assert!(detect_complex_logic(a).is_empty(), "loc {loc}");
+            }
+        }
+    }
+}
+
+#[test]
+fn detectors_read_the_surface_not_the_defect_list() {
+    // Strip the latent defect list but keep the corrupted surface: the
+    // auditor must still find everything (it is a *static* analyzer,
+    // not an oracle reader) — and the converse: a clean surface with a
+    // fabricated defect list yields nothing.
+    let mut corrupted = CodeArtifact::with_defects(0, 200, 2, vec![DefectKind::TypeError]);
+    corrupted.defects.clear();
+    assert_eq!(detect_type_errors(&corrupted).len(), 1);
+
+    let mut clean = CodeArtifact::with_defects(0, 200, 2, vec![]);
+    clean.defects.push(DefectKind::TypeError);
+    assert!(detect_type_errors(&clean).is_empty());
+}
+
+#[test]
+fn audit_report_maps_severities_and_names_components() {
+    let spec = PaperSpec::for_system(TargetSystem::NcFlow);
+    let arts = vec![
+        CodeArtifact::with_defects(0, 200, 2, vec![DefectKind::TypeError]),
+        CodeArtifact::with_defects(1, 150, 2, vec![DefectKind::SimpleLogic]),
+        CodeArtifact::with_defects(2, 150, 2, vec![]),
+    ];
+    let report = audit(&spec, &arts);
+    assert_eq!(report.count(Severity::Error), 1);
+    assert_eq!(report.count(Severity::Warning), 1);
+    let err = report.findings.iter().find(|f| f.severity == Severity::Error).expect("error");
+    assert_eq!(err.rule, "type-error");
+    assert_eq!(err.subject, spec.components[0].name);
+    assert!(report.render_json().contains("type-error"));
+}

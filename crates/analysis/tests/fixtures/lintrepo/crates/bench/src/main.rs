@@ -1,0 +1,9 @@
+//! Fixture: a measurement binary whose declared per-crate policy is
+//! panic-on-error — unwraps and panics here are conformant.
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap();
+    if arg.is_empty() {
+        panic!("usage: bench <n>");
+    }
+}

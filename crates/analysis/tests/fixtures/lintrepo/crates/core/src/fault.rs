@@ -1,0 +1,20 @@
+//! Fixture: a "deterministic" module that breaks every rule.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn trace() -> Vec<(u32, f64)> {
+    let started = Instant::now(); // wallclock violation
+    let mut ledger: HashMap<u32, f64> = HashMap::new();
+    ledger.insert(1, started.elapsed().as_secs_f64());
+    let mut out = Vec::new();
+    for (k, v) in ledger.iter() {
+        // hashiter violation
+        out.push((*k, *v));
+    }
+    out
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // unwrap violation
+}

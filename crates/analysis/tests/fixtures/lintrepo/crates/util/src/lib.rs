@@ -1,0 +1,33 @@
+//! Fixture: a library crate with one real violation per panic rule,
+//! plus occurrences the scanner must *not* count.
+//!
+//! A doc example mentioning `value.unwrap()` is not a violation:
+//!
+//! ```ignore
+//! let x = maybe.unwrap();
+//! ```
+
+/// The string mentions .expect( and panic!( but strings are stripped.
+pub const HELP: &str = "never call .unwrap() or .expect( or panic!( here";
+
+pub fn parse(s: &str) -> u32 {
+    // A comment mentioning .unwrap() is not a violation either.
+    let n: u32 = s.parse().unwrap(); // unwrap violation (the only one)
+    if n > 9000 {
+        panic!("too big"); // panicpolicy violation (the only one)
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(parse("7"));
+        assert_eq!(v.unwrap(), 7);
+        let w: Result<u32, ()> = Ok(1);
+        let _ = w.expect("fine in tests");
+    }
+}

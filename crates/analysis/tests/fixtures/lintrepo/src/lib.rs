@@ -1,0 +1,5 @@
+//! Fixture: the clean root package.
+
+pub fn ok(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::{ArgError, Args};
+use analysis::Severity;
 use netrepro_bdd::EngineProfile;
 use netrepro_core::diagnosis::{diagnose_dpv, diagnose_resilience, diagnose_te};
 use netrepro_core::fault::FaultOutcome;
@@ -37,6 +38,8 @@ commands:
   session   [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--auto]
             [--faults none|light|heavy|chaos]
   validate  [--participant a|b|c|d] [--seed N] [--faults none|light|heavy|chaos]
+  analyze   [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--style mono|text|pseudo]
+            [--stage raw|final] [--json] [--fail-on error|warning|never] [--self-check]
   rps       serve [--addr H:P] | play [--addr H:P] [--moves RPSR...]
 ";
 
@@ -327,6 +330,10 @@ pub fn session(a: &Args) -> CmdResult {
         (100.0 * r.artifact.loc_ratio()).round()
     );
     println!("residual defects: {:?}", r.residual_defects);
+    let spec = netrepro_core::paper::PaperSpec::for_system(system);
+    let (report, d) = analysis::gate::gate_artifacts(&spec, &r.component_artifacts);
+    println!("static audit: {}", report.summary_line());
+    println!("static diagnosis: {:?} — {}", d.cause, d.evidence);
     print_resilience(&faults);
     Ok(())
 }
@@ -399,6 +406,69 @@ pub fn validate(a: &Args) -> CmdResult {
         }
     }
     print_resilience(&faults);
+    Ok(())
+}
+
+/// `netrepro analyze` — the Tier A static auditor on generated
+/// artifacts: detect the §3.3 defect taxonomy without executing
+/// anything. `--stage raw` audits what the LLM first produced,
+/// `--stage final` audits what the session shipped after debugging.
+/// Exit is non-zero when findings reach `--fail-on` (default: error).
+pub fn analyze(a: &Args) -> CmdResult {
+    if a.has("self-check") {
+        let stats = analysis::selfcheck::self_check(8).map_err(ArgError)?;
+        println!(
+            "analyze self-check passed: {} artifact audits across all systems/styles, \
+             {} latent defects all detected statically, zero false positives",
+            stats.artifacts, stats.defects
+        );
+        return Ok(());
+    }
+    let system = system_from(a)?;
+    let seed: u64 = a.get_or("seed", 2023)?;
+    let stage = a.get("stage").unwrap_or("raw");
+    let style = match a.get("style").unwrap_or("text") {
+        "mono" | "monolithic" => netrepro_core::prompt::PromptStyle::Monolithic,
+        "text" => netrepro_core::prompt::PromptStyle::ModularText,
+        "pseudo" | "pseudocode" => netrepro_core::prompt::PromptStyle::ModularPseudocode,
+        other => return Err(ArgError(format!("--style must be mono|text|pseudo, got '{other}'"))),
+    };
+    let spec = netrepro_core::paper::PaperSpec::for_system(system);
+    let artifacts = match stage {
+        "raw" => {
+            let mut llm = netrepro_core::llm::SimulatedLlm::new(seed);
+            spec.components
+                .iter()
+                .enumerate()
+                .map(|(i, c)| llm.implement(c, i, style))
+                .collect::<Vec<_>>()
+        }
+        "final" => {
+            ReproductionSession::new(Participant::preset(system), seed).run().component_artifacts
+        }
+        other => return Err(ArgError(format!("--stage must be raw|final, got '{other}'"))),
+    };
+    let (report, diagnosis) = analysis::gate::gate_artifacts(&spec, &artifacts);
+    if a.has("json") {
+        println!("{}", report.render_json());
+    } else {
+        println!(
+            "static audit: {} ({} component artifact(s), stage {stage}, seed {seed})",
+            system.name(),
+            artifacts.len()
+        );
+        print!("{}", report.render_text());
+        println!("diagnosis: {:?} — {}", diagnosis.cause, diagnosis.evidence);
+    }
+    let fail_on = a.get("fail-on").unwrap_or("error");
+    if fail_on != "never" {
+        let sev = Severity::parse(fail_on)
+            .ok_or_else(|| ArgError(format!("--fail-on must be error|warning|never, got '{fail_on}'")))?;
+        let n = report.count_at_least(sev);
+        if n > 0 {
+            return Err(ArgError(format!("{n} finding(s) at or above severity '{sev}'")));
+        }
+    }
     Ok(())
 }
 

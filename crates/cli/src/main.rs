@@ -10,6 +10,8 @@
 //! netrepro session  [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--auto]
 //!                   [--faults none|light|heavy|chaos]
 //! netrepro validate [--participant a|b|c|d] [--seed N] [--faults none|light|heavy|chaos]
+//! netrepro analyze  [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--style mono|text|pseudo]
+//!                   [--stage raw|final] [--json] [--fail-on error|warning|never] [--self-check]
 //! netrepro rps      serve [--addr HOST:PORT] | play [--addr HOST:PORT] [--moves RPS...]
 //! ```
 //!
@@ -35,6 +37,7 @@ fn main() {
         Some("dpv") => cmd::dpv(&a),
         Some("session") => cmd::session(&a),
         Some("validate") => cmd::validate(&a),
+        Some("analyze") => cmd::analyze(&a),
         Some("rps") => cmd::rps(&a),
         Some(other) => Err(args::ArgError(format!("unknown command '{other}'\n{}", cmd::USAGE))),
         None => Err(args::ArgError(cmd::USAGE.to_string())),

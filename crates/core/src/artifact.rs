@@ -43,7 +43,7 @@ mod tests {
     fn assemble_sums_loc() {
         let spec = PaperSpec::for_system(TargetSystem::ApVerifier);
         let arts: Vec<CodeArtifact> = (0..3)
-            .map(|i| CodeArtifact { component: i, loc: 100, defects: vec![] })
+            .map(|i| CodeArtifact::with_defects(i, 100, 2, vec![]))
             .collect();
         let p = PrototypeArtifact::assemble(&spec, &arts);
         assert_eq!(p.loc, 300);
@@ -54,7 +54,7 @@ mod tests {
     #[test]
     fn ratio_is_fractional() {
         let spec = PaperSpec::for_system(TargetSystem::NcFlow);
-        let arts = vec![CodeArtifact { component: 0, loc: 910, defects: vec![] }];
+        let arts = vec![CodeArtifact::with_defects(0, 910, 2, vec![])];
         let p = PrototypeArtifact::assemble(&spec, &arts);
         assert!((p.loc_ratio() - 0.1).abs() < 1e-9);
     }

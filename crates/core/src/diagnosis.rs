@@ -18,7 +18,7 @@
 //! paper's formal-methods proposal; the thresholds are the paper's own
 //! reported magnitudes.
 
-use crate::validate::{DpvValidation, TeValidation};
+use crate::validate::{DpvValidation, StaticGate, TeValidation};
 use serde::{Deserialize, Serialize};
 
 /// Root causes, per the §3.2 taxonomy.
@@ -36,6 +36,9 @@ pub enum RootCause {
     /// Different answers that even re-runs of one side produce: the
     /// comparison itself is unsound.
     Inconclusive,
+    /// The static auditor found error-severity defects before any run:
+    /// the prototype is rejected without executing it.
+    StaticallyRejected,
 }
 
 /// A diagnosis with its supporting evidence.
@@ -124,6 +127,38 @@ pub fn diagnose_dpv(v: &DpvValidation) -> Diagnosis {
                 "same answers, comparable latency (pred {pred_ratio:.1}×, verify \
                  {verify_ratio:.1}×)"
             ),
+        }
+    }
+}
+
+/// Diagnose a pre-execution static audit: the gate that runs before
+/// any differential validation. Error-severity findings (type errors,
+/// interop mismatches — code that would not compile or integrate)
+/// reject the prototype outright; warnings alone let it through to
+/// execution, which is where logic bugs are confirmed or cleared.
+pub fn diagnose_static(gate: &StaticGate) -> Diagnosis {
+    if gate.rejects() {
+        Diagnosis {
+            cause: RootCause::StaticallyRejected,
+            evidence: format!(
+                "{} error-severity static finding(s) ({} warning(s)); worst: {} — \
+                 rejected before execution",
+                gate.errors, gate.warnings, gate.worst
+            ),
+        }
+    } else if gate.warnings > 0 {
+        Diagnosis {
+            cause: RootCause::Inconclusive,
+            evidence: format!(
+                "static audit passed the compile/interop gate but left {} logic \
+                 warning(s) ({}); execution-based validation must confirm",
+                gate.warnings, gate.worst
+            ),
+        }
+    } else {
+        Diagnosis {
+            cause: RootCause::Faithful,
+            evidence: "static audit clean: no findings at any severity".into(),
         }
     }
 }
@@ -244,6 +279,20 @@ mod tests {
     fn faithful_te() {
         let d = diagnose_te(&te(100.0, 99.9, 10, 13));
         assert_eq!(d.cause, RootCause::Faithful);
+    }
+
+    #[test]
+    fn static_gate_classification() {
+        use crate::validate::StaticGate;
+        let rejected = StaticGate { errors: 2, warnings: 1, worst: "call/signature mismatch".into() };
+        let d = diagnose_static(&rejected);
+        assert_eq!(d.cause, RootCause::StaticallyRejected);
+        assert!(d.evidence.contains("rejected before execution"));
+
+        let warned = StaticGate { errors: 0, warnings: 3, worst: "branch collapse".into() };
+        assert_eq!(diagnose_static(&warned).cause, RootCause::Inconclusive);
+
+        assert_eq!(diagnose_static(&StaticGate::clean()).cause, RootCause::Faithful);
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl AutoEngineer {
             let accepted = self.gate(&report) && faults.escaped_since(checkpoint) == 0;
             let style = strategy.style;
             attempts.push(Attempt { style, report, accepted });
-            if attempts.last().unwrap().accepted {
+            if accepted {
                 break;
             }
         }

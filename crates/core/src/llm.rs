@@ -42,18 +42,268 @@ pub struct CodeArtifact {
     pub loc: u32,
     /// Latent defects (not all are visible immediately).
     pub defects: Vec<DefectKind>,
+    /// The statically inspectable shape of the generated code.
+    pub surface: CodeSurface,
 }
 
 impl CodeArtifact {
+    /// Build an artifact whose surface manifests exactly `defects`.
+    /// `shared_types` sizes the interop surface (exports), as in
+    /// [`crate::paper::ComponentSpec::shared_types`].
+    pub fn with_defects(
+        component: usize,
+        loc: u32,
+        shared_types: u32,
+        defects: Vec<DefectKind>,
+    ) -> Self {
+        let surface = CodeSurface::synthesize(component, loc, shared_types, &defects);
+        CodeArtifact { component, loc, defects, surface }
+    }
+
     /// Whether a defect of `kind` is present.
     pub fn has(&self, kind: DefectKind) -> bool {
         self.defects.contains(&kind)
     }
 
-    /// Remove one defect of `kind` (a successful fix).
+    /// Remove one defect of `kind` (a successful fix). The fix also
+    /// repairs the defect's structural manifestation on the surface.
     pub fn fix(&mut self, kind: DefectKind) {
         if let Some(i) = self.defects.iter().position(|&d| d == kind) {
             self.defects.remove(i);
+        }
+        if !self.has(kind) {
+            self.surface.repair(self.component, self.loc, kind);
+        }
+    }
+
+    /// Implant a defect of `kind` together with its structural
+    /// manifestation (used by regeneration churn and fault injection).
+    pub fn inject(&mut self, kind: DefectKind) {
+        self.defects.push(kind);
+        self.surface.corrupt(self.component, kind);
+    }
+
+    /// A truncated response: half the code arrived. The surface is
+    /// resynthesized at the new size (keeping the current defect set's
+    /// manifestations) and a type error is implanted if none is present
+    /// — truncated code does not compile.
+    pub fn truncate(&mut self) {
+        self.loc = (self.loc / 2).max(5);
+        let shared_types = self.surface.exports.len() as u32;
+        self.surface =
+            CodeSurface::synthesize(self.component, self.loc, shared_types, &self.defects);
+        if !self.has(DefectKind::TypeError) {
+            self.inject(DefectKind::TypeError);
+        }
+    }
+}
+
+/// A function signature on the surface: parameter type ids only (the
+/// level at which the compiler, and our static auditor, check calls).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Function id within the component.
+    pub fn_id: u32,
+    /// Parameter type ids.
+    pub params: Vec<u16>,
+}
+
+/// A call site: which function calls which, with which argument types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallSite {
+    /// Calling function id.
+    pub caller: u32,
+    /// Called function id (index into the component's signatures).
+    pub callee: u32,
+    /// Argument type ids as written at the call site.
+    pub args: Vec<u16>,
+}
+
+/// A shared data type this component exports to its peers, identified
+/// by a structural fingerprint (field layout hash). Peers that pinned
+/// the type from the spec export [`canonical_fingerprint`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeExport {
+    /// Shared type id (from the spec's interop surface).
+    pub type_id: u32,
+    /// Structural fingerprint of this component's definition.
+    pub fingerprint: u64,
+}
+
+/// A bounded loop on the surface: the bound the surrounding code
+/// declares (array length, iteration count) versus the bound the loop
+/// body actually exercises. Off-by-one disagreement is the §3.3
+/// "simplified logic" archetype.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopShape {
+    /// The bound the surrounding code declares.
+    pub declared_bound: u32,
+    /// The bound the loop body exercises.
+    pub exercised_bound: u32,
+}
+
+/// The statically inspectable shape of a generated artifact: enough
+/// structure for a pre-execution auditor to find each [`DefectKind`]
+/// without running anything, and without reading the latent defect
+/// list. Synthesis is a pure function of (component, loc, interop
+/// surface, defects) — it draws nothing from the session RNG, so adding
+/// it changed no seeded behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CodeSurface {
+    /// Function signatures in the component.
+    pub signatures: Vec<Signature>,
+    /// Intra-component call sites.
+    pub calls: Vec<CallSite>,
+    /// Shared-type exports (the interop surface).
+    pub exports: Vec<TypeExport>,
+    /// Bounded loops.
+    pub loops: Vec<LoopShape>,
+    /// Conditional-branch count (control-flow density).
+    pub branches: u32,
+}
+
+/// splitmix64 finalizer — the deterministic hash behind fingerprints
+/// and surface shaping. Not a session RNG: same inputs, same surface.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fingerprint of shared type `type_id` as pinned by the paper
+/// spec (the interface registry). Components that implement the spec's
+/// data structures faithfully export exactly this value; an interop
+/// mismatch is a deviation from it.
+pub fn canonical_fingerprint(type_id: u32) -> u64 {
+    mix(0xC0DE_0000u64 + type_id as u64)
+}
+
+/// Expected conditional-branch count for a component of `loc` lines —
+/// the LoC-profile model shared by the generator and the static
+/// auditor. Clean code lands within ±8% of this; "complex logic
+/// simplified away" (§3.3) shows up as a collapse far below it.
+pub fn expected_branches(loc: u32) -> f64 {
+    2.0 + loc as f64 / 12.0
+}
+
+impl CodeSurface {
+    /// Synthesize the surface for a component of `loc` lines with
+    /// `shared_types` interop exports, then manifest each defect.
+    pub fn synthesize(
+        component: usize,
+        loc: u32,
+        shared_types: u32,
+        defects: &[DefectKind],
+    ) -> CodeSurface {
+        let mut s = CodeSurface::clean(component, loc, shared_types);
+        for &d in defects {
+            s.corrupt(component, d);
+        }
+        s
+    }
+
+    /// A defect-free surface.
+    fn clean(component: usize, loc: u32, shared_types: u32) -> CodeSurface {
+        let n_sigs = 2 + (loc / 120) as usize;
+        let signatures: Vec<Signature> = (0..n_sigs)
+            .map(|i| Signature {
+                fn_id: i as u32,
+                params: (0..1 + (i + loc as usize) % 3)
+                    .map(|p| (mix(((component as u64) << 32) ^ (i * 8 + p) as u64) % 7) as u16)
+                    .collect(),
+            })
+            .collect();
+        let calls: Vec<CallSite> = (1..n_sigs)
+            .map(|i| CallSite {
+                caller: i as u32,
+                callee: 0,
+                args: signatures[0].params.clone(),
+            })
+            .collect();
+        let exports = (0..shared_types)
+            .map(|t| TypeExport { type_id: t, fingerprint: canonical_fingerprint(t) })
+            .collect();
+        let loops = (0..1 + (loc / 100) as usize)
+            .map(|i| {
+                let b = 4 + (mix(loc as u64 ^ ((i as u64) << 16)) % 28) as u32;
+                LoopShape { declared_bound: b, exercised_bound: b }
+            })
+            .collect();
+        CodeSurface {
+            signatures,
+            calls,
+            exports,
+            loops,
+            branches: Self::plausible_branches(component, loc),
+        }
+    }
+
+    /// Clean branch count: the expected density with a deterministic
+    /// ±8% per-component jitter (real code is not exactly on-model).
+    fn plausible_branches(component: usize, loc: u32) -> u32 {
+        let j = 0.92
+            + 0.16 * (mix(((component as u64) << 20) ^ loc as u64) % 1000) as f64 / 1000.0;
+        (expected_branches(loc) * j).round() as u32
+    }
+
+    /// Manifest `kind` structurally.
+    pub fn corrupt(&mut self, component: usize, kind: DefectKind) {
+        match kind {
+            DefectKind::TypeError => {
+                // A call site whose argument types disagree with the
+                // callee's signature (type id shifted out of range).
+                if let Some(c) = self.calls.last_mut() {
+                    if let Some(a) = c.args.first_mut() {
+                        *a += 7;
+                    }
+                }
+            }
+            DefectKind::InteropMismatch => {
+                // This component's definition of a shared type drifts
+                // from the spec-pinned layout its peers use.
+                if let Some(e) = self.exports.first_mut() {
+                    e.fingerprint ^= mix(0x5A17 ^ ((component as u64) << 8)) | 1;
+                }
+            }
+            DefectKind::SimpleLogic => {
+                // The off-by-one: the loop body runs one step past the
+                // declared bound.
+                if let Some(l) = self.loops.first_mut() {
+                    l.exercised_bound = l.declared_bound + 1;
+                }
+            }
+            DefectKind::ComplexLogic => {
+                // The hard part of the algorithm is "simplified" away:
+                // control flow collapses far below the LoC profile.
+                self.branches = ((self.branches as f64) * 0.4).round().max(1.0) as u32;
+            }
+        }
+    }
+
+    /// Undo the structural manifestation of `kind`.
+    pub fn repair(&mut self, component: usize, loc: u32, kind: DefectKind) {
+        match kind {
+            DefectKind::TypeError => {
+                for c in &mut self.calls {
+                    if let Some(sig) = self.signatures.iter().find(|s| s.fn_id == c.callee) {
+                        c.args = sig.params.clone();
+                    }
+                }
+            }
+            DefectKind::InteropMismatch => {
+                for e in &mut self.exports {
+                    e.fingerprint = canonical_fingerprint(e.type_id);
+                }
+            }
+            DefectKind::SimpleLogic => {
+                for l in &mut self.loops {
+                    l.exercised_bound = l.declared_bound;
+                }
+            }
+            DefectKind::ComplexLogic => {
+                self.branches = Self::plausible_branches(component, loc);
+            }
         }
     }
 }
@@ -179,7 +429,7 @@ impl SimulatedLlm {
         // estimate with mild noise.
         let noise = 1.0 + self.model.loc_noise * (self.rng.random::<f64>() * 2.0 - 1.0);
         let loc = ((spec.loc_estimate as f64) * noise).round().max(5.0) as u32;
-        CodeArtifact { component: idx, loc, defects }
+        CodeArtifact::with_defects(idx, loc, spec.shared_types, defects)
     }
 
     /// Respond to a debug prompt. Returns `true` if the targeted defect
@@ -200,7 +450,7 @@ impl SimulatedLlm {
             artifact.fix(target);
         }
         if self.bernoulli(self.model.churn) && !artifact.has(DefectKind::TypeError) {
-            artifact.defects.push(DefectKind::TypeError);
+            artifact.inject(DefectKind::TypeError);
         }
         fixed
     }
@@ -277,7 +527,7 @@ mod tests {
         let mut fixed = 0;
         for seed in 0..200 {
             let mut llm = SimulatedLlm::new(seed);
-            let mut a = CodeArtifact { component: 0, loc: 100, defects: vec![DefectKind::TypeError] };
+            let mut a = CodeArtifact::with_defects(0, 100, 2, vec![DefectKind::TypeError]);
             if llm.debug(&mut a, DefectKind::TypeError, Guideline::ErrorMessage) {
                 fixed += 1;
             }
@@ -290,8 +540,7 @@ mod tests {
         let mut fixed = 0;
         for seed in 0..200 {
             let mut llm = SimulatedLlm::new(seed);
-            let mut a =
-                CodeArtifact { component: 0, loc: 100, defects: vec![DefectKind::ComplexLogic] };
+            let mut a = CodeArtifact::with_defects(0, 100, 2, vec![DefectKind::ComplexLogic]);
             if llm.debug(&mut a, DefectKind::ComplexLogic, Guideline::ErrorMessage) {
                 fixed += 1;
             }
@@ -301,13 +550,52 @@ mod tests {
 
     #[test]
     fn fix_removes_exactly_one_defect() {
-        let mut a = CodeArtifact {
-            component: 0,
-            loc: 10,
-            defects: vec![DefectKind::SimpleLogic, DefectKind::SimpleLogic],
-        };
+        let mut a = CodeArtifact::with_defects(
+            0,
+            10,
+            1,
+            vec![DefectKind::SimpleLogic, DefectKind::SimpleLogic],
+        );
         a.fix(DefectKind::SimpleLogic);
         assert_eq!(a.defects.len(), 1);
+    }
+
+    #[test]
+    fn surface_synthesis_is_deterministic_and_draws_no_rng() {
+        // Same seed, same artifact — including the surface — and the
+        // RNG stream is untouched by surface synthesis (loc, the last
+        // draw, matches between two LLMs that only differ in whether
+        // the surface is inspected).
+        let s = spec();
+        let a = SimulatedLlm::new(9).implement(&s, 3, PromptStyle::ModularText);
+        let b = SimulatedLlm::new(9).implement(&s, 3, PromptStyle::ModularText);
+        assert_eq!(a.surface, b.surface);
+        assert_eq!(a.surface.exports.len(), s.shared_types as usize);
+        assert!(!a.surface.signatures.is_empty());
+        assert!(!a.surface.calls.is_empty());
+    }
+
+    #[test]
+    fn fix_and_inject_keep_surface_in_sync() {
+        let mut a = CodeArtifact::with_defects(2, 200, 3, vec![DefectKind::TypeError]);
+        let clean = CodeSurface::synthesize(2, 200, 3, &[]);
+        assert_ne!(a.surface, clean, "defect must manifest structurally");
+        a.fix(DefectKind::TypeError);
+        assert_eq!(a.surface, clean, "fix must repair the manifestation");
+        a.inject(DefectKind::InteropMismatch);
+        assert_ne!(a.surface, clean);
+        a.fix(DefectKind::InteropMismatch);
+        assert_eq!(a.surface, clean);
+    }
+
+    #[test]
+    fn truncate_halves_loc_and_implants_a_type_error() {
+        let mut a = CodeArtifact::with_defects(0, 400, 2, vec![]);
+        a.truncate();
+        assert_eq!(a.loc, 200);
+        assert!(a.has(DefectKind::TypeError));
+        let resynth = CodeSurface::synthesize(0, 200, 2, &a.defects);
+        assert_eq!(a.surface, resynth);
     }
 
     #[test]

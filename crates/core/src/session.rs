@@ -31,6 +31,10 @@ pub struct SessionReport {
     pub artifact: PrototypeArtifact,
     /// Defects that were never repaired (shipped in the prototype).
     pub residual_defects: Vec<DefectKind>,
+    /// The per-component artifacts as shipped (surface included), so a
+    /// static auditor can gate the prototype without re-running the
+    /// session.
+    pub component_artifacts: Vec<CodeArtifact>,
 }
 
 impl SessionReport {
@@ -148,10 +152,7 @@ impl ReproductionSession {
             // Truncated response: half the code arrives and it does not
             // compile. The compile loops below are the absorption path.
             if let Some(f) = faults.roll(FaultSite::LlmResponse, FaultKind::TruncatedResponse) {
-                art.loc = (art.loc / 2).max(5);
-                if !art.has(DefectKind::TypeError) {
-                    art.defects.push(DefectKind::TypeError);
-                }
+                art.truncate();
                 truncations.push((f, artifacts.len()));
             }
 
@@ -242,6 +243,7 @@ impl ReproductionSession {
             prompts,
             artifact,
             residual_defects,
+            component_artifacts: artifacts,
         }
     }
 

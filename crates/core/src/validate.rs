@@ -27,6 +27,34 @@ use netrepro_te::ncflow::{solve_ncflow, NcFlowConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
+/// Summary of a pre-execution static audit, fed in by the analysis
+/// layer before any differential run. Execution-based validation of a
+/// prototype that fails this gate is wasted work: the comparison is
+/// unsound before it starts (`crates/analysis` produces the findings;
+/// [`crate::diagnosis::diagnose_static`] turns the gate into a
+/// [`crate::diagnosis::Diagnosis`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticGate {
+    /// Error-severity findings (type errors, interop mismatches).
+    pub errors: usize,
+    /// Warning-severity findings (logic-simplification heuristics).
+    pub warnings: usize,
+    /// One-line description of the worst finding (empty when clean).
+    pub worst: String,
+}
+
+impl StaticGate {
+    /// A gate with no findings.
+    pub fn clean() -> Self {
+        StaticGate { errors: 0, warnings: 0, worst: String::new() }
+    }
+
+    /// Whether the audited prototype should not be executed at all.
+    pub fn rejects(&self) -> bool {
+        self.errors > 0
+    }
+}
+
 /// A TE validation row (participants A and B).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TeValidation {

@@ -297,10 +297,7 @@ pub fn single_fiber_scenarios(te: &TeInstance, count: usize) -> Vec<FailureScena
         })
         .collect();
     fibers.sort_by(|&x, &y| {
-        g.capacity(y)
-            .partial_cmp(&g.capacity(x))
-            .unwrap()
-            .then_with(|| x.cmp(&y))
+        g.capacity(y).total_cmp(&g.capacity(x)).then_with(|| x.cmp(&y))
     });
     fibers
         .into_iter()

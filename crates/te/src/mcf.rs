@@ -32,7 +32,7 @@ impl TeInstance {
     /// `max_commodities` of them.
     pub fn commodities(&self) -> Vec<(NodeId, NodeId, f64)> {
         let mut all = self.tm.commodities();
-        all.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        all.sort_by(|a, b| b.2.total_cmp(&a.2));
         all.truncate(self.max_commodities);
         all
     }

@@ -198,20 +198,18 @@ pub fn solve_ncflow(
     };
 
     let r2_results: Vec<Result<R2Out, TeError>> = if cfg.parallel_r2 {
-        let mut slots: Vec<Option<Result<R2Out, TeError>>> = (0..k).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (c, slot) in slots.iter_mut().enumerate() {
-                let solve_cluster = &solve_cluster;
-                handles.push(scope.spawn(move || {
-                    *slot = Some(solve_cluster(c));
-                }));
-            }
-            for h in handles {
-                h.join().expect("cluster solver panicked");
-            }
-        });
-        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+            let handles: Vec<_> = (0..k)
+                .map(|c| {
+                    let solve_cluster = &solve_cluster;
+                    scope.spawn(move || solve_cluster(c))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        })
     } else {
         (0..k).map(solve_cluster).collect()
     };
@@ -221,8 +219,10 @@ pub fn solve_ncflow(
     let mut total = 0.0;
     let mut iterations = r1.lp_iterations;
     // Per (agg commodity, path) key: min admission across clusters.
-    let mut key_min: std::collections::HashMap<(usize, usize), f64> =
-        std::collections::HashMap::new();
+    // A BTreeMap, not a HashMap: the values are summed below, and f64
+    // addition order must not depend on RandomState.
+    let mut key_min: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
     for (ci, paths) in agg_tunnels.tunnels.iter().enumerate() {
         for (pi, _) in paths.iter().enumerate() {
             if r1.per_path[ci][pi] > 1e-9 {
@@ -259,7 +259,7 @@ fn member_source(inter: &[(NodeId, NodeId, f64)], part: &Partition, cluster: usi
     inter
         .iter()
         .filter(|(s, _, _)| part.cluster(*s) == cluster)
-        .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .max_by(|a, b| a.2.total_cmp(&b.2))
         .map(|&(s, _, _)| s)
         .unwrap_or_else(|| part.members[cluster][0])
 }
@@ -268,7 +268,7 @@ fn member_sink(inter: &[(NodeId, NodeId, f64)], part: &Partition, cluster: usize
     inter
         .iter()
         .filter(|(_, d, _)| part.cluster(*d) == cluster)
-        .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .max_by(|a, b| a.2.total_cmp(&b.2))
         .map(|&(_, d, _)| d)
         .unwrap_or_else(|| part.members[cluster][0])
 }
@@ -283,7 +283,9 @@ struct Contracted {
 fn contract(g: &DiGraph, part: &Partition) -> Contracted {
     let mut cg = DiGraph::new();
     let nodes = cg.add_nodes("cluster", part.k());
-    let mut caps: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    // Ordered map: edges must be added in a run-independent order.
+    let mut caps: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
     for e in g.edges() {
         let (s, d) = g.endpoints(e);
         let (cs, cd) = (part.cluster(s), part.cluster(d));
@@ -291,9 +293,7 @@ fn contract(g: &DiGraph, part: &Partition) -> Contracted {
             *caps.entry((cs, cd)).or_insert(0.0) += g.capacity(e);
         }
     }
-    let mut pairs: Vec<_> = caps.into_iter().collect();
-    pairs.sort_by_key(|&((a, b), _)| (a, b));
-    for ((cs, cd), cap) in pairs {
+    for ((cs, cd), cap) in caps {
         cg.add_edge(nodes[cs], nodes[cd], cap, 1.0);
     }
     Contracted { graph: cg }

@@ -11,6 +11,8 @@
 //! * [`te`] — NCFlow, ARROW and the MCF baseline;
 //! * [`core`] — the paper's contribution: the LLM-assisted
 //!   reproduction framework, survey pipeline and validation layer;
+//! * [`analysis`] — the static defect auditor (§3.3 taxonomy without
+//!   execution) and the workspace invariant linter (`repolint`);
 //! * [`rps`] — the Figure 3 rock-paper-scissors client/server.
 //!
 //! Start with `examples/quickstart.rs`, then `DESIGN.md` for the system
@@ -19,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use analysis;
 pub use netrepro_bdd as bdd;
 pub use netrepro_core as core;
 pub use netrepro_dpv as dpv;
