@@ -55,6 +55,7 @@ impl Default for LintConfig {
         LintConfig {
             wallclock_files: vec![
                 "crates/core/src/fault.rs".into(),
+                "crates/core/src/harness.rs".into(),
                 "crates/core/src/llm.rs".into(),
                 "crates/core/src/session.rs".into(),
                 "crates/lp/src/".into(),
@@ -62,6 +63,7 @@ impl Default for LintConfig {
             ],
             hashiter_files: vec![
                 "crates/core/src/fault.rs".into(),
+                "crates/core/src/harness.rs".into(),
                 "crates/core/src/session.rs".into(),
                 "crates/core/src/transcript.rs".into(),
                 "crates/core/src/timeline.rs".into(),

@@ -1,0 +1,67 @@
+//! Criterion bench for the crash-safe sweep runtime: straight-through
+//! orchestration cost, journal replay cost, and the resume path
+//! (replay a half-journal, then execute the remainder).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrepro_core::fault::FaultProfile;
+use netrepro_core::harness::{parse_journal, MemoryJournal, Sweep, SweepConfig, TaskLimits};
+use netrepro_core::paper::TargetSystem;
+use netrepro_core::prompt::PromptStyle;
+
+/// A small matrix: 2 systems × 1 style × 2 seeds × 2 profiles = 8 cells.
+fn small_config(profile: FaultProfile) -> SweepConfig {
+    SweepConfig {
+        systems: vec![TargetSystem::RockPaperScissors, TargetSystem::NcFlow],
+        styles: vec![PromptStyle::ModularText],
+        seeds: vec![0, 1],
+        profiles: vec![FaultProfile::None, profile],
+        limits: TaskLimits::default(),
+    }
+}
+
+fn bench_straight_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_straight");
+    for profile in [FaultProfile::None, FaultProfile::Heavy, FaultProfile::Chaos] {
+        g.bench_with_input(BenchmarkId::new("profile", profile.name()), &profile, |b, &p| {
+            let sweep = Sweep::new(small_config(p));
+            b.iter(|| {
+                let mut sink = MemoryJournal::new();
+                sweep.run(&mut sink).expect("sweep runs").coverage.completed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay_and_resume(c: &mut Criterion) {
+    // Pre-compute a full journal, then measure (a) pure replay parsing
+    // and (b) resume-from-half: parse + execute the remaining cells.
+    let config = small_config(FaultProfile::Chaos);
+    let sweep = Sweep::new(config.clone());
+    let mut sink = MemoryJournal::new();
+    sweep.run(&mut sink).expect("sweep runs");
+    let text = sink.text().to_string();
+    let half: String = {
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = lines.len() / 2;
+        let mut s = lines[..keep].join("\n");
+        s.push('\n');
+        s
+    };
+
+    let mut g = c.benchmark_group("sweep_resume");
+    g.bench_function("parse_full_journal", |b| {
+        b.iter(|| parse_journal(&text, &config).expect("parses").records.len())
+    });
+    g.bench_function("resume_from_half_journal", |b| {
+        b.iter(|| {
+            let replay = parse_journal(&half, &config).expect("parses");
+            let mut sink = MemoryJournal::with_text(&half);
+            sweep.run_from(&replay, &mut sink).expect("resumes").coverage.completed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_straight_run, bench_replay_and_resume);
+criterion_main!(benches);

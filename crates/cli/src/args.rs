@@ -32,7 +32,7 @@ impl Args {
         while let Some(t) = it.next() {
             if let Some(key) = t.strip_prefix("--") {
                 let value = match it.peek() {
-                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap()),
+                    Some(v) if !v.starts_with("--") => it.next(),
                     _ => None,
                 };
                 out.options.insert(key.to_string(), value);

@@ -3,10 +3,12 @@
 use crate::args::{ArgError, Args};
 use analysis::Severity;
 use netrepro_bdd::EngineProfile;
-use netrepro_core::diagnosis::{diagnose_dpv, diagnose_resilience, diagnose_te};
-use netrepro_core::fault::FaultOutcome;
+use netrepro_core::diagnosis::{diagnose_dpv, diagnose_resilience, diagnose_te, RootCause};
+use netrepro_core::fault::{FaultOutcome, FaultProfile};
 use netrepro_core::framework::AutoEngineer;
+use netrepro_core::harness::{self, JournalSink, Sweep, SweepConfig, SweepReport, TaskLimits};
 use netrepro_core::paper::TargetSystem;
+use netrepro_core::prompt::PromptStyle;
 use netrepro_core::student::Participant;
 use netrepro_core::survey::{build_corpus, SurveyStats};
 use netrepro_core::validate as val;
@@ -40,6 +42,9 @@ commands:
   validate  [--participant a|b|c|d] [--seed N] [--faults none|light|heavy|chaos]
   analyze   [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--style mono|text|pseudo]
             [--stage raw|final] [--json] [--fail-on error|warning|never] [--self-check]
+  sweep     [--systems CSV] [--styles CSV] [--seeds N] [--profiles CSV]
+            [--journal PATH] [--resume PATH] [--deadline N] [--attempts N] [--breaker N]
+            [--json] [--out FILE] [--halt-after K] [--throttle-ms MS]
   rps       serve [--addr H:P] | play [--addr H:P] [--moves RPSR...]
 ";
 
@@ -282,16 +287,27 @@ fn print_resilience(faults: &FaultInjector) {
 }
 
 fn system_from(a: &Args) -> Result<TargetSystem, ArgError> {
-    match a.get("system").unwrap_or("ncflow") {
-        "ncflow" => Ok(TargetSystem::NcFlow),
-        "arrow" => Ok(TargetSystem::Arrow),
-        "apkeep" => Ok(TargetSystem::ApKeep),
-        "ap" => Ok(TargetSystem::ApVerifier),
-        "rps" => Ok(TargetSystem::RockPaperScissors),
-        other => Err(ArgError(format!(
-            "--system must be ncflow|arrow|apkeep|ap|rps, got '{other}'"
-        ))),
+    let spec = a.get("system").unwrap_or("ncflow");
+    TargetSystem::parse(spec).ok_or_else(|| {
+        ArgError(format!("--system must be ncflow|arrow|apkeep|ap|rps, got '{spec}'"))
+    })
+}
+
+/// Parse a comma-separated list through `parse`, rejecting unknown or
+/// empty entries with the flag's name in the message.
+fn parse_csv<T>(
+    spec: &str,
+    parse: impl Fn(&str) -> Option<T>,
+    flag: &str,
+) -> Result<Vec<T>, ArgError> {
+    let mut out = Vec::new();
+    for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        out.push(parse(tok).ok_or_else(|| ArgError(format!("{flag}: unknown value '{tok}'")))?);
     }
+    if out.is_empty() {
+        return Err(ArgError(format!("{flag}: empty list")));
+    }
+    Ok(out)
 }
 
 /// `netrepro session`
@@ -335,6 +351,21 @@ pub fn session(a: &Args) -> CmdResult {
     println!("static audit: {}", report.summary_line());
     println!("static diagnosis: {:?} — {}", d.cause, d.evidence);
     print_resilience(&faults);
+    // Exit non-zero on rejection, matching `analyze`: a failure verdict
+    // with exit 0 reads as success to any script driving the CLI.
+    if d.cause == RootCause::StaticallyRejected {
+        return Err(ArgError(
+            "session rejected: static gate found error-severity defects".into(),
+        ));
+    }
+    if faults.enabled() {
+        let escaped = faults.report().escaped;
+        if escaped > 0 {
+            return Err(ArgError(format!(
+                "session rejected: {escaped} injected fault(s) escaped"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -427,12 +458,10 @@ pub fn analyze(a: &Args) -> CmdResult {
     let system = system_from(a)?;
     let seed: u64 = a.get_or("seed", 2023)?;
     let stage = a.get("stage").unwrap_or("raw");
-    let style = match a.get("style").unwrap_or("text") {
-        "mono" | "monolithic" => netrepro_core::prompt::PromptStyle::Monolithic,
-        "text" => netrepro_core::prompt::PromptStyle::ModularText,
-        "pseudo" | "pseudocode" => netrepro_core::prompt::PromptStyle::ModularPseudocode,
-        other => return Err(ArgError(format!("--style must be mono|text|pseudo, got '{other}'"))),
-    };
+    let style_spec = a.get("style").unwrap_or("text");
+    let style = PromptStyle::parse(style_spec).ok_or_else(|| {
+        ArgError(format!("--style must be mono|text|pseudo, got '{style_spec}'"))
+    })?;
     let spec = netrepro_core::paper::PaperSpec::for_system(system);
     let artifacts = match stage {
         "raw" => {
@@ -468,6 +497,191 @@ pub fn analyze(a: &Args) -> CmdResult {
         if n > 0 {
             return Err(ArgError(format!("{n} finding(s) at or above severity '{sev}'")));
         }
+    }
+    Ok(())
+}
+
+/// Write-ahead journal sink over a real file. Each line is written and
+/// flushed before the sweep moves on, so a `SIGKILL` between appends
+/// loses at most the line being written — exactly the torn-trailing
+/// case `parse_journal` recovers from.
+struct FileJournal {
+    file: std::fs::File,
+    lines_written: u64,
+    /// Crash-simulation aid: write only the first half of line K (no
+    /// newline), sync, and exit(3) — a deterministic torn write.
+    halt_after: Option<u64>,
+    /// Sleep per appended line so an external test can land a SIGKILL
+    /// mid-run.
+    throttle_ms: u64,
+}
+
+impl FileJournal {
+    fn new(file: std::fs::File, halt_after: Option<u64>, throttle_ms: u64) -> FileJournal {
+        FileJournal { file, lines_written: 0, halt_after, throttle_ms }
+    }
+}
+
+impl JournalSink for FileJournal {
+    fn append(&mut self, line: &str) -> Result<(), String> {
+        use std::io::Write;
+        if self.throttle_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.throttle_ms));
+        }
+        if self.halt_after == Some(self.lines_written + 1) {
+            let mut cut = line.len() / 2;
+            while cut > 0 && !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let _ = self.file.write_all(&line.as_bytes()[..cut]);
+            let _ = self.file.sync_all();
+            std::process::exit(3);
+        }
+        self.file.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        self.file.flush().map_err(|e| e.to_string())?;
+        self.lines_written += 1;
+        Ok(())
+    }
+}
+
+/// Aggregate the sweep's cells into a per-(system, style, profile) text
+/// table: coverage plus mean prompts/LoC over completed cells.
+fn print_sweep_table(report: &SweepReport) {
+    use std::collections::BTreeMap;
+    #[derive(Default)]
+    struct Agg {
+        cells: u64,
+        completed: u64,
+        quarantined: u64,
+        skipped: u64,
+        prompts: u64,
+        loc: u64,
+    }
+    let mut rows: BTreeMap<String, Agg> = BTreeMap::new();
+    for cell in &report.cells {
+        let key = format!(
+            "{:<8} {:<7} {:<6}",
+            cell.cell.system.name(),
+            cell.cell.style.name(),
+            cell.cell.profile.name()
+        );
+        let agg = rows.entry(key).or_default();
+        agg.cells += 1;
+        match cell.status {
+            harness::CellStatus::Completed => agg.completed += 1,
+            harness::CellStatus::Quarantined => agg.quarantined += 1,
+            harness::CellStatus::SkippedByBreaker => agg.skipped += 1,
+        }
+        if let Some(r) = &cell.result {
+            agg.prompts += r.prompts;
+            agg.loc += r.loc;
+        }
+    }
+    println!(
+        "{:<8} {:<7} {:<6}  {:>5} {:>5} {:>5} {:>5}  {:>11} {:>9}",
+        "system", "style", "prof", "cells", "done", "quar", "skip", "avg-prompts", "avg-loc"
+    );
+    for (key, agg) in rows {
+        let (avg_p, avg_l) = if agg.completed > 0 {
+            (
+                format!("{:.1}", agg.prompts as f64 / agg.completed as f64),
+                format!("{:.0}", agg.loc as f64 / agg.completed as f64),
+            )
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        println!(
+            "{key}  {:>5} {:>5} {:>5} {:>5}  {avg_p:>11} {avg_l:>9}",
+            agg.cells, agg.completed, agg.quarantined, agg.skipped
+        );
+    }
+}
+
+/// `netrepro sweep` — the crash-safe orchestration runtime over the
+/// full system × style × seed × profile matrix. Every finished cell is
+/// appended to a JSONL journal before the sweep moves on; `--resume`
+/// replays a journal (dropping a torn trailing record) and executes
+/// only the remainder, producing a byte-identical report.
+pub fn sweep(a: &Args) -> CmdResult {
+    let systems = parse_csv(
+        a.get("systems").unwrap_or("ncflow,arrow,apkeep,ap"),
+        TargetSystem::parse,
+        "--systems",
+    )?;
+    let styles =
+        parse_csv(a.get("styles").unwrap_or("text,pseudo"), PromptStyle::parse, "--styles")?;
+    let profiles =
+        parse_csv(a.get("profiles").unwrap_or("none,heavy"), FaultProfile::parse, "--profiles")?;
+    let n_seeds: u64 = a.get_or("seeds", 3)?;
+    if n_seeds == 0 {
+        return Err(ArgError("--seeds must be at least 1".into()));
+    }
+    let defaults = TaskLimits::default();
+    let limits = TaskLimits {
+        deadline_steps: a.get_or("deadline", defaults.deadline_steps)?,
+        max_attempts: a.get_or("attempts", defaults.max_attempts)?,
+        backoff_base: defaults.backoff_base,
+        backoff_cap: defaults.backoff_cap,
+        breaker_threshold: a.get_or("breaker", defaults.breaker_threshold)?,
+    };
+    let config = SweepConfig { systems, styles, seeds: (0..n_seeds).collect(), profiles, limits };
+    let runtime = Sweep::new(config.clone()).with_gate(Box::new(|spec, arts| {
+        let (report, _) = analysis::gate::gate_artifacts(spec, arts);
+        analysis::gate::static_gate(&report)
+    }));
+    let halt_after =
+        if a.has("halt-after") { Some(a.require::<u64>("halt-after")?) } else { None };
+    let throttle_ms: u64 = a.get_or("throttle-ms", 0)?;
+
+    let report = if let Some(path) = a.get("resume") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read journal {path}: {e}")))?;
+        let replay = harness::parse_journal(&text, &config).map_err(|e| ArgError(e.to_string()))?;
+        if replay.dropped_partial {
+            eprintln!("journal {path}: dropped a torn trailing record; its cell re-runs");
+        }
+        eprintln!(
+            "resuming {path}: {} of {} cells journaled",
+            replay.records.len(),
+            config.total_cells()
+        );
+        // Truncate the torn tail so appended lines continue the valid
+        // prefix, then hand the append handle to the sweep.
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| ArgError(format!("cannot reopen {path}: {e}")))?;
+        file.set_len(replay.valid_bytes).map_err(|e| ArgError(format!("truncate {path}: {e}")))?;
+        drop(file);
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| ArgError(format!("cannot append to {path}: {e}")))?;
+        let mut sink = FileJournal::new(file, halt_after, throttle_ms);
+        runtime.run_from(&replay, &mut sink).map_err(ArgError)?
+    } else {
+        let path = a.get("journal").unwrap_or("results/sweep.jsonl");
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| ArgError(format!("{}: {e}", parent.display())))?;
+            }
+        }
+        let file = std::fs::File::create(path)
+            .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+        let mut sink = FileJournal::new(file, halt_after, throttle_ms);
+        runtime.run(&mut sink).map_err(ArgError)?
+    };
+
+    if let Some(out) = a.get("out") {
+        std::fs::write(out, report.render_json())
+            .map_err(|e| ArgError(format!("{out}: {e}")))?;
+    }
+    if a.has("json") {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.summary());
+        print_sweep_table(&report);
     }
     Ok(())
 }

@@ -12,6 +12,9 @@
 //! netrepro validate [--participant a|b|c|d] [--seed N] [--faults none|light|heavy|chaos]
 //! netrepro analyze  [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--style mono|text|pseudo]
 //!                   [--stage raw|final] [--json] [--fail-on error|warning|never] [--self-check]
+//! netrepro sweep    [--systems CSV] [--styles CSV] [--seeds N] [--profiles CSV]
+//!                   [--journal PATH] [--resume PATH] [--deadline N] [--attempts N]
+//!                   [--breaker N] [--json] [--out FILE] [--halt-after K] [--throttle-ms MS]
 //! netrepro rps      serve [--addr HOST:PORT] | play [--addr HOST:PORT] [--moves RPS...]
 //! ```
 //!
@@ -38,6 +41,7 @@ fn main() {
         Some("session") => cmd::session(&a),
         Some("validate") => cmd::validate(&a),
         Some("analyze") => cmd::analyze(&a),
+        Some("sweep") => cmd::sweep(&a),
         Some("rps") => cmd::rps(&a),
         Some(other) => Err(args::ArgError(format!("unknown command '{other}'\n{}", cmd::USAGE))),
         None => Err(args::ArgError(cmd::USAGE.to_string())),

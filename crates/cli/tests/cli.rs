@@ -14,6 +14,25 @@ fn run(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+fn run_code(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_netrepro"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.code(),
+    )
+}
+
+/// A per-test scratch path under the system temp dir (no tempfile dep).
+fn scratch(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("netrepro-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name).to_string_lossy().into_owned()
+}
+
 #[test]
 fn help_prints_usage() {
     let (stdout, _, ok) = run(&["--help"]);
@@ -78,13 +97,14 @@ fn session_rejects_unknown_fault_profile() {
 
 #[test]
 fn session_fault_trace_is_deterministic() {
+    // Seed 11 under heavy faults leaks two escapes, so the run is
+    // rejected (non-zero exit) — but the trace stays deterministic.
     let args = ["session", "--system", "ncflow", "--seed", "11", "--faults", "heavy"];
-    let (a, _, ok1) = run(&args);
-    let (b, _, ok2) = run(&args);
-    assert!(ok1 && ok2, "{a}");
-    assert_eq!(a, b, "same plan must print the same fault trace");
-    assert!(a.contains("fault trace:"), "{a}");
-    assert!(a.contains("resilience diagnosis:"), "{a}");
+    let (a, err_a, ok1) = run(&args);
+    let (b, err_b, ok2) = run(&args);
+    assert!(!ok1 && !ok2, "escaped faults must reject: {err_a}");
+    assert!(err_a.contains("session rejected"), "{err_a}");
+    assert_eq!((a, err_a), (b, err_b), "same plan must print the same fault trace");
 }
 
 #[test]
@@ -178,4 +198,117 @@ fn session_prints_static_audit_gate() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("static audit:"), "{stdout}");
     assert!(stdout.contains("static diagnosis:"), "{stdout}");
+}
+
+// Seed 3 is probed: under chaos the ncflow session leaks escaped
+// faults (rejected), under heavy everything is absorbed (accepted).
+
+#[test]
+fn session_and_analyze_agree_on_rejection_exit() {
+    // A failed verdict must exit non-zero from *both* commands.
+    let (_, stderr, ok) =
+        run(&["session", "--system", "ncflow", "--seed", "3", "--faults", "chaos"]);
+    assert!(!ok, "escaped faults must reject");
+    assert!(stderr.contains("session rejected"), "{stderr}");
+    let (_, stderr, ok) =
+        run(&["analyze", "--system", "ncflow", "--seed", "2023", "--style", "mono"]);
+    assert!(!ok, "error-severity findings must reject");
+    assert!(stderr.contains("severity 'error'"), "{stderr}");
+}
+
+#[test]
+fn session_absorbed_faults_still_exit_zero() {
+    let (stdout, _, ok) =
+        run(&["session", "--system", "ncflow", "--seed", "3", "--faults", "heavy"]);
+    assert!(ok, "absorbed faults are a pass: {stdout}");
+    assert!(stdout.contains("Faithful"), "{stdout}");
+}
+
+#[test]
+fn sweep_small_matrix_is_deterministic() {
+    let matrix: &[&str] = &[
+        "sweep", "--systems", "rps", "--styles", "text", "--seeds", "2", "--profiles",
+        "none,chaos", "--json", "--journal",
+    ];
+    let ja = scratch("det-a.jsonl");
+    let jb = scratch("det-b.jsonl");
+    let (a, _, ok1) = run(&[matrix, &[ja.as_str()]].concat());
+    let (b, _, ok2) = run(&[matrix, &[jb.as_str()]].concat());
+    assert!(ok1 && ok2, "{a}");
+    assert_eq!(a, b, "same matrix must produce the same report");
+    let v: serde_json::Value = serde_json::from_str(&a).expect("valid JSON");
+    let cov = &v["coverage"];
+    assert_eq!(cov["total"].as_u64(), Some(4), "{a}");
+    assert_eq!(
+        cov["total"].as_u64(),
+        Some(
+            cov["completed"].as_u64().unwrap()
+                + cov["quarantined"].as_u64().unwrap()
+                + cov["skipped_by_breaker"].as_u64().unwrap()
+        )
+    );
+}
+
+#[test]
+fn sweep_halt_and_resume_matches_uninterrupted_run() {
+    let matrix: &[&str] =
+        &["--systems", "ncflow,rps", "--styles", "text", "--seeds", "2", "--profiles", "none,chaos"];
+    let (bj, bo) = (scratch("halt-base.jsonl"), scratch("halt-base.json"));
+    let (kj, ko) = (scratch("halt-kill.jsonl"), scratch("halt-kill.json"));
+    let (_, _, ok) =
+        run(&[&["sweep"], matrix, &["--journal", &bj, "--out", &bo]].concat());
+    assert!(ok, "baseline sweep runs");
+    // Crash mid-write on journal line 4: the binary tears the line in
+    // half (no newline) and dies with the dedicated exit code.
+    let (_, _, code) = run_code(
+        &[&["sweep"], matrix, &["--journal", &kj, "--halt-after", "4"]].concat(),
+    );
+    assert_eq!(code, Some(3), "halt-after must exit 3");
+    let torn = std::fs::read_to_string(&kj).expect("torn journal exists");
+    assert!(!torn.ends_with('\n'), "the trailing record must be torn");
+    let (_, stderr, ok) =
+        run(&[&["sweep"], matrix, &["--resume", &kj, "--out", &ko]].concat());
+    assert!(ok, "resume must succeed: {stderr}");
+    assert!(stderr.contains("dropped a torn trailing record"), "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&bj).unwrap(),
+        std::fs::read_to_string(&kj).unwrap(),
+        "resumed journal must be byte-identical to the uninterrupted one"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&bo).unwrap(),
+        std::fs::read_to_string(&ko).unwrap(),
+        "resumed report must be byte-identical to the uninterrupted one"
+    );
+}
+
+#[test]
+fn sweep_chaos_reports_nonempty_quarantine() {
+    let j = scratch("chaos.jsonl");
+    let (stdout, _, ok) = run(&[
+        "sweep", "--systems", "ncflow,arrow,apkeep,ap", "--styles", "text,pseudo", "--seeds",
+        "3", "--profiles", "none,chaos", "--json", "--journal", &j,
+    ]);
+    assert!(ok, "chaos sweep completes");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let quarantine = v["quarantine"].as_array().expect("quarantine array");
+    assert!(!quarantine.is_empty(), "chaos must quarantine at least one cell");
+    let cov = &v["coverage"];
+    assert_eq!(cov["total"].as_u64(), Some(48));
+    assert_eq!(
+        cov["total"].as_u64(),
+        Some(
+            cov["completed"].as_u64().unwrap()
+                + cov["quarantined"].as_u64().unwrap()
+                + cov["skipped_by_breaker"].as_u64().unwrap()
+        )
+    );
+}
+
+#[test]
+fn sweep_rejects_unknown_system() {
+    let (_, stderr, ok) = run(&["sweep", "--systems", "ncflow,quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("--systems"), "{stderr}");
+    assert!(stderr.contains("quantum"), "{stderr}");
 }

@@ -43,6 +43,9 @@ pub enum FaultSite {
     DpvDataset,
     /// The RPS socket pair.
     RpsSocket,
+    /// The sweep harness supervising a task (crash/wedge of a whole
+    /// matrix cell, as opposed to a failure inside the session).
+    Harness,
 }
 
 impl FaultSite {
@@ -55,17 +58,19 @@ impl FaultSite {
             FaultSite::BddTable => "bdd-table",
             FaultSite::DpvDataset => "dpv-dataset",
             FaultSite::RpsSocket => "rps-socket",
+            FaultSite::Harness => "harness",
         }
     }
 
     /// Every site, in report order.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::LlmResponse,
         FaultSite::Session,
         FaultSite::LpSolver,
         FaultSite::BddTable,
         FaultSite::DpvDataset,
         FaultSite::RpsSocket,
+        FaultSite::Harness,
     ];
 }
 
@@ -97,6 +102,11 @@ pub enum FaultKind {
     SocketTimeout,
     /// A malformed frame arrives on the wire.
     MalformedFrame,
+    /// A whole sweep task crashes (the harness catches the panic).
+    TaskPanic,
+    /// A whole sweep task wedges and never finishes (the harness's
+    /// step-budget deadline reaps it).
+    TaskWedge,
 }
 
 impl FaultKind {
@@ -114,6 +124,8 @@ impl FaultKind {
             FaultKind::SocketDrop => "socket-drop",
             FaultKind::SocketTimeout => "socket-timeout",
             FaultKind::MalformedFrame => "malformed-frame",
+            FaultKind::TaskPanic => "task-panic",
+            FaultKind::TaskWedge => "task-wedge",
         }
     }
 }
@@ -170,6 +182,10 @@ impl FaultProfile {
             FaultKind::TableExhaustion => 0.8,
             FaultKind::LinkCorruption | FaultKind::FibCorruption => 0.6,
             FaultKind::SocketDrop | FaultKind::SocketTimeout | FaultKind::MalformedFrame => 1.0,
+            // Whole-task crashes/wedges are rarer than in-session
+            // failures but cost a full attempt each.
+            FaultKind::TaskPanic => 0.6,
+            FaultKind::TaskWedge => 0.5,
         };
         (base * weight).min(0.95)
     }

@@ -1,0 +1,1293 @@
+//! Crash-safe sweep orchestration: the supervised runtime that runs the
+//! full experiment matrix (system × style × seed × fault profile) under
+//! panic isolation, deterministic deadlines, capped retry, and a
+//! write-ahead journal so an interrupted sweep resumes bit-identically.
+//!
+//! The paper's experiment is itself a matrix — participants × systems ×
+//! prompting styles — and a long sweep over it must tolerate partial
+//! failure without discarding completed cells. The harness supervises
+//! each cell:
+//!
+//! * **Panic isolation** — every attempt runs inside `catch_unwind`.
+//!   Injected crashes carry an [`InjectedCrash`] payload (raised with
+//!   `panic_any`, never the `panic!` macro, which repolint forbids);
+//!   any *other* payload is a harness bug and is re-raised with
+//!   `resume_unwind` so real defects are never swallowed.
+//! * **Deterministic deadlines** — time is a virtual clock counted in
+//!   *steps* (one prompt = one step); repolint forbids wall-clock reads
+//!   in seeded modules, and the deadline must replay identically on
+//!   resume. A wedged task burns its whole step budget.
+//! * **Retry with capped exponential backoff** — a failed attempt waits
+//!   `min(base << attempt, cap)` virtual ticks before the next try.
+//! * **Circuit breaker + quarantine** — a cell that exhausts its retry
+//!   budget is quarantined; once a task *class* (system × profile)
+//!   accumulates `breaker_threshold` quarantines, remaining cells of
+//!   that class are skipped outright. Coverage accounting (attempted /
+//!   completed / quarantined / skipped) always sums to the full matrix,
+//!   so a degraded sweep is an honest partial result.
+//! * **Write-ahead journal** — every finished cell is appended to a
+//!   JSONL journal *before* the sweep moves on. [`parse_journal`]
+//!   replays a journal prefix (dropping a truncated or corrupt trailing
+//!   record) and [`Sweep::run_from`] executes only the remainder; the
+//!   final [`SweepReport`] is byte-identical to an uninterrupted run.
+//!
+//! Determinism is load-bearing everywhere: per-cell RNG seeds are
+//! derived by hashing the cell key (never by sharing a stream across
+//! cells), so executing cells 0..k, crashing, and re-running k..n
+//! cannot perturb any cell's outcome.
+
+use crate::fault::{
+    FaultId, FaultInjector, FaultKind, FaultPlan, FaultProfile, FaultSite, ResilienceReport,
+};
+use crate::llm::{CodeArtifact, DefectKind};
+use crate::paper::{PaperSpec, TargetSystem};
+use crate::prompt::PromptStyle;
+use crate::session::ReproductionSession;
+use crate::student::Participant;
+use crate::validate::StaticGate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Journal format version; bumped on any incompatible layout change.
+pub const JOURNAL_VERSION: u32 = 1;
+
+// Distinct salts keep the three per-cell RNG streams (session, session
+// faults, harness faults) independent even though they hash the same
+// cell key.
+const SALT_SESSION: u64 = 0x5e55_1011_0000_0001;
+const SALT_FAULTS: u64 = 0xfa17_0a75_0000_0002;
+const SALT_HARNESS: u64 = 0x4a52_4e53_0000_0003;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The seed for one of a cell's RNG streams. Pure function of the cell
+/// key, the attempt number and the stream salt — no state crosses
+/// cells, which is what makes journal replay sound.
+fn derive_seed(cell: CellId, attempt: u32, salt: u64) -> u64 {
+    splitmix64(
+        fnv1a64(cell.key().as_bytes())
+            ^ cell.seed.rotate_left(17)
+            ^ salt
+            ^ (u64::from(attempt) << 48),
+    )
+}
+
+/// One cell of the sweep matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellId {
+    /// Target system (fixes the participant preset).
+    pub system: TargetSystem,
+    /// Prompting style override for this cell.
+    pub style: PromptStyle,
+    /// Base seed of the cell (mixed into every derived stream).
+    pub seed: u64,
+    /// Fault profile the cell runs under.
+    pub profile: FaultProfile,
+}
+
+impl CellId {
+    /// Stable human-readable key, e.g. `NCFlow/pseudo/3/chaos`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.system.name(),
+            self.style.name(),
+            self.seed,
+            self.profile.name()
+        )
+    }
+
+    /// Circuit-breaker class: system × profile. Seeds and styles share
+    /// a breaker because they fail for the same structural reasons.
+    pub fn class(&self) -> String {
+        format!("{}:{}", self.system.name(), self.profile.name())
+    }
+
+    /// The participant driving this cell: the paper's preset for the
+    /// system, with the prompting style overridden by the cell.
+    pub fn participant(&self) -> Participant {
+        let mut p = Participant::preset(self.system);
+        p.strategy.style = self.style;
+        p.strategy.pseudocode_first = self.style == PromptStyle::ModularPseudocode;
+        p
+    }
+}
+
+/// Deterministic resource limits for one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskLimits {
+    /// Step budget per attempt (one prompt = one step); a wedged task
+    /// burns the whole budget.
+    pub deadline_steps: u64,
+    /// Attempts per cell before quarantine.
+    pub max_attempts: u32,
+    /// Base backoff after a failed attempt, in virtual ticks.
+    pub backoff_base: u64,
+    /// Backoff ceiling, in virtual ticks.
+    pub backoff_cap: u64,
+    /// Quarantines per class before the breaker trips.
+    pub breaker_threshold: u32,
+}
+
+impl Default for TaskLimits {
+    fn default() -> Self {
+        TaskLimits {
+            // Sessions run 10–200 prompts; 400 only reaps wedged tasks.
+            deadline_steps: 400,
+            max_attempts: 3,
+            backoff_base: 8,
+            backoff_cap: 64,
+            breaker_threshold: 3,
+        }
+    }
+}
+
+impl TaskLimits {
+    /// Backoff after failed attempt `attempt`: `min(base << attempt,
+    /// cap)`.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        self.backoff_base
+            .checked_shl(attempt)
+            .map_or(self.backoff_cap, |v| v.min(self.backoff_cap))
+    }
+}
+
+/// The sweep matrix plus its limits. Expansion order is canonical
+/// (systems → styles → seeds → profiles) and the config fingerprint is
+/// embedded in the journal header, so a journal can never silently
+/// replay into a different matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Systems to sweep.
+    pub systems: Vec<TargetSystem>,
+    /// Prompting styles to sweep.
+    pub styles: Vec<PromptStyle>,
+    /// Base seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Fault profiles to sweep.
+    pub profiles: Vec<FaultProfile>,
+    /// Per-cell limits.
+    pub limits: TaskLimits,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            systems: TargetSystem::EXPERIMENT.to_vec(),
+            styles: vec![PromptStyle::ModularText, PromptStyle::ModularPseudocode],
+            seeds: vec![0, 1, 2],
+            profiles: vec![FaultProfile::None, FaultProfile::Heavy],
+            limits: TaskLimits::default(),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The full matrix in canonical order.
+    pub fn expand(&self) -> Vec<CellId> {
+        let mut cells = Vec::with_capacity(self.total_cells());
+        for &system in &self.systems {
+            for &style in &self.styles {
+                for &seed in &self.seeds {
+                    for &profile in &self.profiles {
+                        cells.push(CellId { system, style, seed, profile });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Matrix size.
+    pub fn total_cells(&self) -> usize {
+        self.systems.len() * self.styles.len() * self.seeds.len() * self.profiles.len()
+    }
+
+    /// Content fingerprint of the config (matrix + limits); stored in
+    /// the journal header and checked on resume.
+    pub fn fingerprint(&self) -> String {
+        let json = serde_json::to_string(self).unwrap_or_default();
+        format!("{:016x}", fnv1a64(json.as_bytes()))
+    }
+}
+
+/// Panic payload for injected task crashes. Raised with
+/// `std::panic::panic_any` so the injection is distinguishable (by
+/// downcast) from a genuine harness bug, which is re-raised.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedCrash {
+    /// The attempt that crashed.
+    pub attempt: u32,
+}
+
+/// Install a process-wide panic hook that silences injected crashes
+/// (they are expected, caught, and journaled) while delegating every
+/// other panic to the previously installed hook. Idempotent.
+fn install_quiet_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedCrash>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// How one attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttemptVerdict {
+    /// The session finished (and passed the gate, when one is wired).
+    Completed,
+    /// The task panicked; the harness caught it.
+    Panicked,
+    /// The task wedged or overran its step budget and was reaped.
+    DeadlineExceeded,
+    /// The static auditor gate rejected the produced artifacts.
+    GateRejected,
+}
+
+/// One attempt at one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttemptRecord {
+    /// 0-based attempt number.
+    pub attempt: u32,
+    /// How it ended.
+    pub verdict: AttemptVerdict,
+    /// Virtual ticks the attempt consumed.
+    pub steps: u64,
+    /// Backoff ticks charged after this attempt (0 on success or on
+    /// the final attempt).
+    pub backoff: u64,
+}
+
+/// Terminal status of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// An attempt completed.
+    Completed,
+    /// Every attempt failed; the cell is quarantined.
+    Quarantined,
+    /// Never attempted: its class's breaker had already tripped.
+    SkippedByBreaker,
+}
+
+/// Measured outcome of a completed cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Participant letter.
+    pub participant: String,
+    /// Prompts sent (Figure 4, left axis).
+    pub prompts: u64,
+    /// Words sent (Figure 4, right axis).
+    pub words: u64,
+    /// Generated LoC (Figure 5 numerator).
+    pub loc: u64,
+    /// Defects shipped in the prototype.
+    pub residual_defects: Vec<DefectKind>,
+    /// Error-severity findings from the auditor gate (0 without a gate).
+    pub gate_errors: u64,
+    /// Warning-severity findings from the auditor gate.
+    pub gate_warnings: u64,
+}
+
+/// Aggregated fault counts (session injectors + the harness injector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTally {
+    /// Faults injected.
+    pub injected: u64,
+    /// Faults absorbed by the resilience machinery.
+    pub absorbed: u64,
+    /// Faults that escaped.
+    pub escaped: u64,
+}
+
+impl FaultTally {
+    /// The zero tally.
+    pub fn zero() -> Self {
+        FaultTally { injected: 0, absorbed: 0, escaped: 0 }
+    }
+
+    /// Fold one injector's report in.
+    pub fn add(&mut self, report: &ResilienceReport) {
+        self.injected += report.injected;
+        self.absorbed += report.absorbed;
+        self.escaped += report.escaped;
+    }
+
+    /// Fold another tally in.
+    pub fn merge(&mut self, other: &FaultTally) {
+        self.injected += other.injected;
+        self.absorbed += other.absorbed;
+        self.escaped += other.escaped;
+    }
+}
+
+/// Everything the journal stores for one cell: the write-ahead unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Which cell.
+    pub cell: CellId,
+    /// How it ended.
+    pub status: CellStatus,
+    /// Every attempt, in order (empty for skipped cells).
+    pub attempts: Vec<AttemptRecord>,
+    /// The outcome (present iff `status == Completed`).
+    pub result: Option<CellResult>,
+    /// Fault counts across all attempts plus the harness injector.
+    pub faults: FaultTally,
+    /// Virtual clock when the cell started.
+    pub clock_start: u64,
+    /// Virtual clock when the cell ended.
+    pub clock_end: u64,
+}
+
+/// First journal line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Layout version ([`JOURNAL_VERSION`]).
+    pub version: u32,
+    /// [`SweepConfig::fingerprint`] of the sweep that wrote the journal.
+    pub fingerprint: String,
+    /// Matrix size, for early mismatch detection.
+    pub total_cells: u64,
+}
+
+/// One journaled cell line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLine {
+    /// Position in the canonical expansion (must be contiguous).
+    pub index: u64,
+    /// The record.
+    pub record: CellRecord,
+}
+
+/// Where journal lines go. Implementations must make a line durable
+/// before returning — the write-ahead guarantee is only as strong as
+/// the sink.
+pub trait JournalSink {
+    /// Append one newline-terminated line.
+    fn append(&mut self, line: &str) -> Result<(), String>;
+}
+
+/// In-memory sink for tests.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryJournal {
+    text: String,
+}
+
+impl MemoryJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        MemoryJournal::default()
+    }
+
+    /// A journal pre-loaded with `text` (simulates a file found on
+    /// disk before resume).
+    pub fn with_text(text: &str) -> Self {
+        MemoryJournal { text: text.to_string() }
+    }
+
+    /// Everything appended so far.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+impl JournalSink for MemoryJournal {
+    fn append(&mut self, line: &str) -> Result<(), String> {
+        self.text.push_str(line);
+        Ok(())
+    }
+}
+
+/// Why a journal cannot be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The journal belongs to a different sweep configuration.
+    Mismatch(String),
+    /// A non-trailing line is unreadable; the journal is damaged beyond
+    /// the safe prefix-drop recovery.
+    Corrupt {
+        /// 0-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Mismatch(m) => write!(f, "journal mismatch: {m}"),
+            JournalError::Corrupt { line, message } => {
+                write!(f, "journal corrupt at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// The replayable prefix of a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Completed cell records, in canonical order.
+    pub records: Vec<CellRecord>,
+    /// Byte length of the valid prefix; a resuming caller truncates
+    /// the journal file to this length before appending.
+    pub valid_bytes: u64,
+    /// Whether a truncated or corrupt trailing record was dropped (its
+    /// cell re-runs).
+    pub dropped_partial: bool,
+    /// Whether the valid prefix includes the header line.
+    pub has_header: bool,
+}
+
+impl Replay {
+    /// The empty replay (fresh run).
+    pub fn empty() -> Self {
+        Replay { records: Vec::new(), valid_bytes: 0, dropped_partial: false, has_header: false }
+    }
+}
+
+/// Split `text` into lines, keeping byte offsets and whether each line
+/// is newline-terminated (an unterminated final line is a torn write).
+fn split_lines(text: &str) -> Vec<(&str, u64, bool)> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < text.len() {
+        match text[start..].find('\n') {
+            Some(i) => {
+                let end = start + i + 1;
+                out.push((&text[start..start + i], end as u64, true));
+                start = end;
+            }
+            None => {
+                out.push((&text[start..], text.len() as u64, false));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Parse a journal against `config`, returning the replayable prefix.
+///
+/// Recovery policy: the *trailing* line may be torn (the process died
+/// mid-append) or corrupt — it is dropped and its cell re-runs. Any
+/// earlier damage means the file is not an execution prefix and is
+/// rejected as [`JournalError::Corrupt`]; a header whose fingerprint,
+/// version or matrix size disagrees with `config` is rejected as
+/// [`JournalError::Mismatch`].
+pub fn parse_journal(text: &str, config: &SweepConfig) -> Result<Replay, JournalError> {
+    let lines = split_lines(text);
+    if lines.is_empty() {
+        return Ok(Replay::empty());
+    }
+    let cells = config.expand();
+    let last = lines.len() - 1;
+
+    // Header line.
+    let (head_text, head_end, head_terminated) = lines[0];
+    let header: JournalHeader = match serde_json::from_str(head_text) {
+        Ok(h) => h,
+        Err(e) => {
+            if last == 0 && !head_terminated {
+                // Torn header: nothing valid yet, start over.
+                return Ok(Replay {
+                    records: Vec::new(),
+                    valid_bytes: 0,
+                    dropped_partial: true,
+                    has_header: false,
+                });
+            }
+            return Err(JournalError::Corrupt { line: 0, message: e.to_string() });
+        }
+    };
+    if !head_terminated {
+        // Parsed but torn — the trailing newline is part of the record.
+        return Ok(Replay {
+            records: Vec::new(),
+            valid_bytes: 0,
+            dropped_partial: true,
+            has_header: false,
+        });
+    }
+    if header.version != JOURNAL_VERSION {
+        return Err(JournalError::Mismatch(format!(
+            "journal version {} (expected {JOURNAL_VERSION})",
+            header.version
+        )));
+    }
+    let fingerprint = config.fingerprint();
+    if header.fingerprint != fingerprint {
+        return Err(JournalError::Mismatch(format!(
+            "fingerprint {} (this sweep is {fingerprint})",
+            header.fingerprint
+        )));
+    }
+    if header.total_cells != cells.len() as u64 {
+        return Err(JournalError::Mismatch(format!(
+            "{} cells (this sweep has {})",
+            header.total_cells,
+            cells.len()
+        )));
+    }
+
+    let mut records = Vec::new();
+    let mut valid_bytes = head_end;
+    let mut dropped_partial = false;
+    for (n, &(line, end, terminated)) in lines.iter().enumerate().skip(1) {
+        let trailing = n == last;
+        let parsed: Result<CellLine, String> = serde_json::from_str(line)
+            .map_err(|e| e.to_string())
+            .and_then(|cl: CellLine| {
+                let i = records.len();
+                if cl.index != i as u64 {
+                    return Err(format!("index {} out of order (expected {i})", cl.index));
+                }
+                match cells.get(i) {
+                    Some(cell) if *cell == cl.record.cell => Ok(cl),
+                    Some(cell) => {
+                        Err(format!("cell {} (expected {})", cl.record.cell.key(), cell.key()))
+                    }
+                    None => Err(format!("{} records but the matrix has {} cells", i + 1, cells.len())),
+                }
+            })
+            .and_then(|cl| {
+                if terminated {
+                    Ok(cl)
+                } else {
+                    Err("torn write (missing trailing newline)".to_string())
+                }
+            });
+        match parsed {
+            Ok(cl) => {
+                records.push(cl.record);
+                valid_bytes = end;
+            }
+            Err(_) if trailing => {
+                dropped_partial = true;
+                break;
+            }
+            Err(message) => {
+                return Err(JournalError::Corrupt { line: n, message });
+            }
+        }
+    }
+    Ok(Replay { records, valid_bytes, dropped_partial, has_header: true })
+}
+
+/// Hook the CLI uses to wire the static auditor gate in without making
+/// `core` depend on `analysis`: given the spec and the shipped
+/// artifacts, return the gate summary.
+pub type GateFn = Box<dyn Fn(&PaperSpec, &[CodeArtifact]) -> StaticGate>;
+
+/// Coverage accounting over the full matrix. Invariant: `completed +
+/// quarantined + skipped_by_breaker == total` and `attempted ==
+/// completed + quarantined` — no cell is ever silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Matrix size.
+    pub total: u64,
+    /// Cells that ran at least one attempt.
+    pub attempted: u64,
+    /// Cells that completed.
+    pub completed: u64,
+    /// Cells that exhausted their retries.
+    pub quarantined: u64,
+    /// Cells skipped because their class's breaker had tripped.
+    pub skipped_by_breaker: u64,
+}
+
+impl Coverage {
+    /// Whether the accounting sums to the full matrix.
+    pub fn consistent(&self) -> bool {
+        self.completed + self.quarantined + self.skipped_by_breaker == self.total
+            && self.attempted == self.completed + self.quarantined
+    }
+}
+
+/// One quarantined cell, surfaced in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Which cell.
+    pub cell: CellId,
+    /// Attempts it burned.
+    pub attempts: u64,
+    /// Verdict of the final attempt.
+    pub last_verdict: Option<AttemptVerdict>,
+}
+
+/// Per-class breaker state in the final report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerEntry {
+    /// Breaker class (system × profile).
+    pub class: String,
+    /// Quarantines accumulated by the class.
+    pub quarantined: u64,
+    /// Whether the breaker tripped (skipping later cells).
+    pub tripped: bool,
+}
+
+/// The sweep's final, journal-reconstructible output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// [`SweepConfig::fingerprint`] of the sweep.
+    pub fingerprint: String,
+    /// The configuration that ran.
+    pub config: SweepConfig,
+    /// Coverage accounting (always sums to the matrix).
+    pub coverage: Coverage,
+    /// Total virtual ticks consumed.
+    pub clock_ticks: u64,
+    /// Fault counts across every injector in the sweep.
+    pub faults: FaultTally,
+    /// Quarantined cells.
+    pub quarantine: Vec<QuarantineEntry>,
+    /// Breaker state per class that quarantined at least once.
+    pub breakers: Vec<BreakerEntry>,
+    /// Every cell record, in canonical order.
+    pub cells: Vec<CellRecord>,
+}
+
+impl SweepReport {
+    /// Pretty JSON rendering — the byte-compared resume artifact.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let c = self.coverage;
+        out.push_str(&format!(
+            "sweep {}: {} cells — {} completed, {} quarantined, {} skipped by breaker\n",
+            self.fingerprint, c.total, c.completed, c.quarantined, c.skipped_by_breaker
+        ));
+        out.push_str(&format!(
+            "clock: {} virtual ticks; faults: {} injected, {} absorbed, {} escaped\n",
+            self.clock_ticks, self.faults.injected, self.faults.absorbed, self.faults.escaped
+        ));
+        for b in &self.breakers {
+            out.push_str(&format!(
+                "breaker {}: {} quarantined{}\n",
+                b.class,
+                b.quarantined,
+                if b.tripped { " [TRIPPED]" } else { "" }
+            ));
+        }
+        for q in &self.quarantine {
+            let verdict = match q.last_verdict {
+                Some(AttemptVerdict::Panicked) => "panicked",
+                Some(AttemptVerdict::DeadlineExceeded) => "deadline exceeded",
+                Some(AttemptVerdict::GateRejected) => "gate rejected",
+                Some(AttemptVerdict::Completed) | None => "unknown",
+            };
+            out.push_str(&format!(
+                "quarantined {} after {} attempts (last: {verdict})\n",
+                q.cell.key(),
+                q.attempts
+            ));
+        }
+        out
+    }
+}
+
+fn json_line<T: Serialize>(value: &T) -> Result<String, String> {
+    serde_json::to_string(value)
+        .map(|mut s| {
+            s.push('\n');
+            s
+        })
+        .map_err(|e| e.to_string())
+}
+
+/// The supervised sweep runtime.
+pub struct Sweep {
+    config: SweepConfig,
+    gate: Option<GateFn>,
+}
+
+impl std::fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("config", &self.config)
+            .field("gate", &self.gate.is_some())
+            .finish()
+    }
+}
+
+impl Sweep {
+    /// A sweep over `config`, with no auditor gate.
+    pub fn new(config: SweepConfig) -> Self {
+        Sweep { config, gate: None }
+    }
+
+    /// Wire in the static auditor gate; a rejecting gate fails the
+    /// attempt (and can quarantine the cell).
+    pub fn with_gate(mut self, gate: GateFn) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// The configuration this sweep runs.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Run the whole matrix from scratch, journaling into `sink`.
+    pub fn run(&self, sink: &mut dyn JournalSink) -> Result<SweepReport, String> {
+        self.run_from(&Replay::empty(), sink)
+    }
+
+    /// Parse `journal_text` and run the remainder. The caller is
+    /// responsible for truncating the on-disk journal to
+    /// [`Replay::valid_bytes`] before handing over the append sink.
+    pub fn resume(
+        &self,
+        journal_text: &str,
+        sink: &mut dyn JournalSink,
+    ) -> Result<SweepReport, String> {
+        let replay = parse_journal(journal_text, &self.config).map_err(|e| e.to_string())?;
+        self.run_from(&replay, sink)
+    }
+
+    /// Replay `replay` and execute every remaining cell, appending each
+    /// finished record to `sink` before moving on (write-ahead).
+    pub fn run_from(&self, replay: &Replay, sink: &mut dyn JournalSink) -> Result<SweepReport, String> {
+        install_quiet_hook();
+        let cells = self.config.expand();
+        if replay.records.len() > cells.len() {
+            return Err(format!(
+                "replay has {} records but the matrix has {} cells",
+                replay.records.len(),
+                cells.len()
+            ));
+        }
+        if !replay.has_header {
+            let header = JournalHeader {
+                version: JOURNAL_VERSION,
+                fingerprint: self.config.fingerprint(),
+                total_cells: cells.len() as u64,
+            };
+            sink.append(&json_line(&header)?)?;
+        }
+        let mut records = replay.records.clone();
+        let mut clock = records.last().map_or(0, |r| r.clock_end);
+        let mut breaker: BTreeMap<String, u32> = BTreeMap::new();
+        for r in &records {
+            if r.status == CellStatus::Quarantined {
+                *breaker.entry(r.cell.class()).or_insert(0) += 1;
+            }
+        }
+        for (i, &cell) in cells.iter().enumerate().skip(records.len()) {
+            let record = self.run_cell(cell, &mut clock, &mut breaker);
+            sink.append(&json_line(&CellLine { index: i as u64, record: record.clone() })?)?;
+            records.push(record);
+        }
+        Ok(self.assemble(records, clock))
+    }
+
+    /// Supervise one cell to a terminal status.
+    fn run_cell(
+        &self,
+        cell: CellId,
+        clock: &mut u64,
+        breaker: &mut BTreeMap<String, u32>,
+    ) -> CellRecord {
+        let clock_start = *clock;
+        let limits = self.config.limits;
+        let class = cell.class();
+        if breaker.get(&class).copied().unwrap_or(0) >= limits.breaker_threshold {
+            return CellRecord {
+                cell,
+                status: CellStatus::SkippedByBreaker,
+                attempts: Vec::new(),
+                result: None,
+                faults: FaultTally::zero(),
+                clock_start,
+                clock_end: clock_start,
+            };
+        }
+        let mut harness_faults =
+            FaultPlan::new(cell.profile, derive_seed(cell, 0, SALT_HARNESS)).injector();
+        let mut pending: Vec<FaultId> = Vec::new();
+        let mut attempts = Vec::new();
+        let mut result = None;
+        let mut tally = FaultTally::zero();
+        for attempt in 0..limits.max_attempts {
+            let (verdict, steps, outcome) =
+                self.run_attempt(cell, attempt, &mut harness_faults, &mut pending, &mut tally);
+            *clock += steps;
+            let done = verdict == AttemptVerdict::Completed;
+            let backoff = if done || attempt + 1 == limits.max_attempts {
+                0
+            } else {
+                limits.backoff(attempt)
+            };
+            *clock += backoff;
+            attempts.push(AttemptRecord { attempt, verdict, steps, backoff });
+            if done {
+                result = outcome;
+                break;
+            }
+        }
+        let status = if result.is_some() {
+            // The retries absorbed whatever the harness injected.
+            for id in pending.drain(..) {
+                harness_faults.absorb(id);
+            }
+            CellStatus::Completed
+        } else {
+            *breaker.entry(class).or_insert(0) += 1;
+            CellStatus::Quarantined
+        };
+        tally.add(&harness_faults.report());
+        CellRecord {
+            cell,
+            status,
+            attempts,
+            result,
+            faults: tally,
+            clock_start,
+            clock_end: *clock,
+        }
+    }
+
+    /// Run one attempt under panic isolation and the step deadline.
+    fn run_attempt(
+        &self,
+        cell: CellId,
+        attempt: u32,
+        harness: &mut FaultInjector,
+        pending: &mut Vec<FaultId>,
+        tally: &mut FaultTally,
+    ) -> (AttemptVerdict, u64, Option<CellResult>) {
+        let limits = self.config.limits;
+        let panic_fault = harness.roll(FaultSite::Harness, FaultKind::TaskPanic);
+        let wedge_fault = if panic_fault.is_none() {
+            harness.roll(FaultSite::Harness, FaultKind::TaskWedge)
+        } else {
+            None
+        };
+        if let Some(id) = panic_fault {
+            pending.push(id);
+        }
+        if let Some(id) = wedge_fault {
+            pending.push(id);
+        }
+        let wedged = wedge_fault.is_some();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if panic_fault.is_some() {
+                std::panic::panic_any(InjectedCrash { attempt });
+            }
+            if wedged {
+                // The task never finishes; the deadline reaps it below.
+                return None;
+            }
+            let mut injector =
+                FaultPlan::new(cell.profile, derive_seed(cell, attempt, SALT_FAULTS)).injector();
+            let report = ReproductionSession::new(
+                cell.participant(),
+                derive_seed(cell, attempt, SALT_SESSION),
+            )
+            .run_with_faults(&mut injector);
+            Some((report, injector.report()))
+        }));
+        match outcome {
+            Err(payload) => {
+                if payload.downcast_ref::<InjectedCrash>().is_none() {
+                    // Not one of ours: a genuine harness/session bug.
+                    resume_unwind(payload);
+                }
+                // A crash is cheap in virtual time: the task died early.
+                (AttemptVerdict::Panicked, 1, None)
+            }
+            Ok(None) => (AttemptVerdict::DeadlineExceeded, limits.deadline_steps, None),
+            Ok(Some((report, fault_report))) => {
+                tally.add(&fault_report);
+                let steps = report.total_prompts() as u64;
+                if steps > limits.deadline_steps {
+                    // The session overran its budget; charge the budget
+                    // (the reaper fires at the deadline, not after).
+                    return (AttemptVerdict::DeadlineExceeded, limits.deadline_steps, None);
+                }
+                let (gate_errors, gate_warnings) = match &self.gate {
+                    Some(gate) => {
+                        let spec = PaperSpec::for_system(cell.system);
+                        let g = gate(&spec, &report.component_artifacts);
+                        if g.rejects() {
+                            return (AttemptVerdict::GateRejected, steps, None);
+                        }
+                        (g.errors as u64, g.warnings as u64)
+                    }
+                    None => (0, 0),
+                };
+                let result = CellResult {
+                    participant: report.participant.clone(),
+                    prompts: steps,
+                    words: report.total_words(),
+                    loc: u64::from(report.artifact.loc),
+                    residual_defects: report.residual_defects.clone(),
+                    gate_errors,
+                    gate_warnings,
+                };
+                (AttemptVerdict::Completed, steps, Some(result))
+            }
+        }
+    }
+
+    /// Fold the records into the final report.
+    fn assemble(&self, records: Vec<CellRecord>, clock: u64) -> SweepReport {
+        let mut coverage = Coverage {
+            total: records.len() as u64,
+            attempted: 0,
+            completed: 0,
+            quarantined: 0,
+            skipped_by_breaker: 0,
+        };
+        let mut faults = FaultTally::zero();
+        let mut quarantine = Vec::new();
+        let mut by_class: BTreeMap<String, u64> = BTreeMap::new();
+        for r in &records {
+            faults.merge(&r.faults);
+            match r.status {
+                CellStatus::Completed => {
+                    coverage.attempted += 1;
+                    coverage.completed += 1;
+                }
+                CellStatus::Quarantined => {
+                    coverage.attempted += 1;
+                    coverage.quarantined += 1;
+                    *by_class.entry(r.cell.class()).or_insert(0) += 1;
+                    quarantine.push(QuarantineEntry {
+                        cell: r.cell,
+                        attempts: r.attempts.len() as u64,
+                        last_verdict: r.attempts.last().map(|a| a.verdict),
+                    });
+                }
+                CellStatus::SkippedByBreaker => coverage.skipped_by_breaker += 1,
+            }
+        }
+        let threshold = u64::from(self.config.limits.breaker_threshold);
+        let breakers = by_class
+            .into_iter()
+            .map(|(class, quarantined)| BreakerEntry {
+                class,
+                quarantined,
+                tripped: quarantined >= threshold,
+            })
+            .collect();
+        SweepReport {
+            fingerprint: self.config.fingerprint(),
+            config: self.config.clone(),
+            coverage,
+            clock_ticks: clock,
+            faults,
+            quarantine,
+            breakers,
+            cells: records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            systems: vec![TargetSystem::RockPaperScissors, TargetSystem::NcFlow],
+            styles: vec![PromptStyle::ModularText],
+            seeds: vec![0],
+            profiles: vec![FaultProfile::None, FaultProfile::Chaos],
+            limits: TaskLimits::default(),
+        }
+    }
+
+    #[test]
+    fn expansion_is_canonical_and_complete() {
+        let cfg = SweepConfig::default();
+        let cells = cfg.expand();
+        assert_eq!(cells.len(), cfg.total_cells());
+        assert_eq!(cells.len(), 4 * 2 * 3 * 2);
+        // First axis varies slowest.
+        assert_eq!(cells[0].system, TargetSystem::NcFlow);
+        assert_eq!(cells[0].profile, FaultProfile::None);
+        assert_eq!(cells[1].profile, FaultProfile::Heavy);
+        assert_eq!(cells.last().unwrap().system, TargetSystem::ApVerifier);
+    }
+
+    #[test]
+    fn derived_seeds_do_not_collide_across_streams() {
+        let cell = tiny_config().expand()[0];
+        let a = derive_seed(cell, 0, SALT_SESSION);
+        let b = derive_seed(cell, 0, SALT_FAULTS);
+        let c = derive_seed(cell, 0, SALT_HARNESS);
+        let d = derive_seed(cell, 1, SALT_SESSION);
+        assert!(a != b && b != c && a != c && a != d);
+    }
+
+    #[test]
+    fn straight_run_is_deterministic() {
+        let run = || {
+            let sweep = Sweep::new(tiny_config());
+            let mut sink = MemoryJournal::new();
+            let report = sweep.run(&mut sink).unwrap();
+            (report.render_json(), sink.text().to_string())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn resume_at_every_prefix_is_byte_identical() {
+        let cfg = tiny_config();
+        let sweep = Sweep::new(cfg.clone());
+        let mut full_sink = MemoryJournal::new();
+        let full = sweep.run(&mut full_sink).unwrap();
+        let full_json = full.render_json();
+        let lines: Vec<&str> = full_sink.text().split_inclusive('\n').collect();
+        for cut in 0..=lines.len() {
+            let prefix: String = lines[..cut].concat();
+            let replay = parse_journal(&prefix, &cfg).unwrap();
+            assert!(!replay.dropped_partial, "clean prefix at cut {cut}");
+            let mut sink = MemoryJournal::with_text(&prefix[..replay.valid_bytes as usize]);
+            let resumed = sweep.run_from(&replay, &mut sink).unwrap();
+            assert_eq!(resumed.render_json(), full_json, "cut at line {cut}");
+            assert_eq!(sink.text(), full_sink.text(), "journal rebuilt at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn torn_trailing_record_is_dropped_and_rerun() {
+        let cfg = tiny_config();
+        let sweep = Sweep::new(cfg.clone());
+        let mut full_sink = MemoryJournal::new();
+        let full = sweep.run(&mut full_sink).unwrap();
+        let text = full_sink.text();
+        // Hand-truncate: cut the final record in half, mid-line.
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        let keep: String = lines[..lines.len() - 1].concat();
+        let torn = format!("{keep}{}", &lines[lines.len() - 1][..10]);
+        let replay = parse_journal(&torn, &cfg).unwrap();
+        assert!(replay.dropped_partial);
+        assert_eq!(replay.records.len(), cfg.total_cells() - 1);
+        assert_eq!(replay.valid_bytes as usize, keep.len());
+        let mut sink = MemoryJournal::with_text(&keep);
+        let resumed = sweep.run_from(&replay, &mut sink).unwrap();
+        assert_eq!(resumed.render_json(), full.render_json());
+        assert_eq!(sink.text(), text);
+    }
+
+    #[test]
+    fn corrupt_trailing_record_with_newline_is_dropped() {
+        let cfg = tiny_config();
+        let sweep = Sweep::new(cfg.clone());
+        let mut sink = MemoryJournal::new();
+        sweep.run(&mut sink).unwrap();
+        let lines: Vec<&str> = sink.text().split_inclusive('\n').collect();
+        let keep: String = lines[..lines.len() - 1].concat();
+        let corrupt = format!("{keep}{{\"index\": garbage\n");
+        let replay = parse_journal(&corrupt, &cfg).unwrap();
+        assert!(replay.dropped_partial);
+        assert_eq!(replay.records.len(), cfg.total_cells() - 1);
+    }
+
+    #[test]
+    fn corrupt_middle_record_is_rejected() {
+        let cfg = tiny_config();
+        let sweep = Sweep::new(cfg.clone());
+        let mut sink = MemoryJournal::new();
+        sweep.run(&mut sink).unwrap();
+        let mut lines: Vec<String> =
+            sink.text().split_inclusive('\n').map(str::to_string).collect();
+        lines[1] = "{\"index\": garbage}\n".to_string();
+        let damaged: String = lines.concat();
+        match parse_journal(&damaged, &cfg) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_config_is_rejected() {
+        let cfg = tiny_config();
+        let sweep = Sweep::new(cfg.clone());
+        let mut sink = MemoryJournal::new();
+        sweep.run(&mut sink).unwrap();
+        let mut other = cfg.clone();
+        other.seeds = vec![0, 1];
+        match parse_journal(sink.text(), &other) {
+            Err(JournalError::Mismatch(_)) => {}
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_sweep_quarantines_and_coverage_sums() {
+        let cfg = SweepConfig {
+            profiles: vec![FaultProfile::Chaos],
+            seeds: (0..4).collect(),
+            ..SweepConfig::default()
+        };
+        let sweep = Sweep::new(cfg);
+        let mut sink = MemoryJournal::new();
+        let report = sweep.run(&mut sink).unwrap();
+        assert!(report.coverage.consistent(), "{:?}", report.coverage);
+        assert!(
+            !report.quarantine.is_empty(),
+            "chaos must quarantine at least one cell: {:?}",
+            report.coverage
+        );
+        assert_eq!(report.quarantine.len() as u64, report.coverage.quarantined);
+        assert!(report.faults.injected > 0);
+    }
+
+    #[test]
+    fn none_profile_without_gate_completes_everything() {
+        let mut cfg = tiny_config();
+        cfg.profiles = vec![FaultProfile::None];
+        let sweep = Sweep::new(cfg.clone());
+        let mut sink = MemoryJournal::new();
+        let report = sweep.run(&mut sink).unwrap();
+        assert_eq!(report.coverage.completed, cfg.total_cells() as u64);
+        assert_eq!(report.faults.injected, 0);
+        for cell in &report.cells {
+            assert_eq!(cell.attempts.len(), 1);
+            assert_eq!(cell.attempts[0].verdict, AttemptVerdict::Completed);
+        }
+    }
+
+    #[test]
+    fn tight_deadline_quarantines_and_trips_breaker() {
+        let mut cfg = tiny_config();
+        cfg.systems = vec![TargetSystem::NcFlow];
+        cfg.profiles = vec![FaultProfile::None];
+        cfg.seeds = (0..5).collect();
+        cfg.limits.deadline_steps = 5; // every session needs more prompts
+        cfg.limits.breaker_threshold = 3;
+        let sweep = Sweep::new(cfg.clone());
+        let mut sink = MemoryJournal::new();
+        let report = sweep.run(&mut sink).unwrap();
+        assert!(report.coverage.consistent());
+        assert_eq!(report.coverage.quarantined, 3);
+        assert_eq!(report.coverage.skipped_by_breaker, 2);
+        assert_eq!(report.breakers.len(), 1);
+        assert!(report.breakers[0].tripped);
+        for q in &report.quarantine {
+            assert_eq!(q.last_verdict, Some(AttemptVerdict::DeadlineExceeded));
+        }
+        // Deadline attempts charge exactly the budget, plus backoff.
+        let first = &report.cells[0];
+        assert_eq!(first.attempts.len(), cfg.limits.max_attempts as usize);
+        for a in &first.attempts {
+            assert_eq!(a.steps, cfg.limits.deadline_steps);
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let limits = TaskLimits {
+            deadline_steps: 400,
+            max_attempts: 8,
+            backoff_base: 8,
+            backoff_cap: 64,
+            breaker_threshold: 3,
+        };
+        let seq: Vec<u64> = (0..8).map(|a| limits.backoff(a)).collect();
+        assert_eq!(seq, vec![8, 16, 32, 64, 64, 64, 64, 64]);
+    }
+
+    #[test]
+    fn skipped_cells_cost_no_clock() {
+        let mut cfg = tiny_config();
+        cfg.systems = vec![TargetSystem::RockPaperScissors];
+        cfg.profiles = vec![FaultProfile::None];
+        cfg.seeds = (0..4).collect();
+        cfg.limits.deadline_steps = 1;
+        cfg.limits.breaker_threshold = 1;
+        let sweep = Sweep::new(cfg);
+        let mut sink = MemoryJournal::new();
+        let report = sweep.run(&mut sink).unwrap();
+        assert_eq!(report.coverage.quarantined, 1);
+        assert_eq!(report.coverage.skipped_by_breaker, 3);
+        for cell in report.cells.iter().filter(|c| c.status == CellStatus::SkippedByBreaker) {
+            assert_eq!(cell.clock_start, cell.clock_end);
+            assert!(cell.attempts.is_empty());
+            assert_eq!(cell.faults, FaultTally::zero());
+        }
+    }
+
+    #[test]
+    fn gate_rejections_feed_quarantine() {
+        // A gate that rejects everything: every cell must quarantine
+        // with GateRejected and the coverage must still sum.
+        let cfg = tiny_config();
+        let total = cfg.total_cells() as u64;
+        let sweep = Sweep::new(cfg).with_gate(Box::new(|_, _| StaticGate {
+            errors: 1,
+            warnings: 0,
+            worst: "always-reject".to_string(),
+        }));
+        let mut sink = MemoryJournal::new();
+        let report = sweep.run(&mut sink).unwrap();
+        assert!(report.coverage.consistent());
+        assert_eq!(report.coverage.completed, 0);
+        assert_eq!(report.coverage.quarantined + report.coverage.skipped_by_breaker, total);
+        assert!(report
+            .quarantine
+            .iter()
+            .any(|q| q.last_verdict == Some(AttemptVerdict::GateRejected)));
+    }
+
+    #[test]
+    fn real_panics_are_not_swallowed() {
+        // A gate that panics with a non-injected payload simulates a
+        // harness bug: run_from must propagate it, not journal it.
+        let cfg = tiny_config();
+        let sweep = Sweep::new(cfg).with_gate(Box::new(|_, _| {
+            std::panic::panic_any("harness bug".to_string())
+        }));
+        let mut sink = MemoryJournal::new();
+        let caught = catch_unwind(AssertUnwindSafe(|| sweep.run(&mut sink)));
+        let payload = caught.expect_err("the bug must escape the harness");
+        assert_eq!(payload.downcast_ref::<String>().map(String::as_str), Some("harness bug"));
+    }
+
+    #[test]
+    fn journal_header_round_trips() {
+        let h = JournalHeader {
+            version: JOURNAL_VERSION,
+            fingerprint: "00deadbeef00cafe".to_string(),
+            total_cells: 48,
+        };
+        let line = json_line(&h).unwrap();
+        assert!(line.ends_with('\n'));
+        let back: JournalHeader = serde_json::from_str(line.trim_end()).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn empty_journal_text_is_a_fresh_run() {
+        let replay = parse_journal("", &tiny_config()).unwrap();
+        assert_eq!(replay, Replay::empty());
+    }
+}

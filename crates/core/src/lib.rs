@@ -38,7 +38,9 @@
 //!   framework;
 //! * [`diagnosis`] — §4's missing-detail/vulnerability classifier over
 //!   validation discrepancies;
-//! * [`metrics`] — serialisable experiment records.
+//! * [`metrics`] — serialisable experiment records;
+//! * [`harness`] — the crash-safe, journaled sweep runtime over the
+//!   full experiment matrix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +49,7 @@ pub mod artifact;
 pub mod diagnosis;
 pub mod fault;
 pub mod framework;
+pub mod harness;
 pub mod llm;
 pub mod metrics;
 pub mod paper;
@@ -59,5 +62,6 @@ pub mod transcript;
 pub mod validate;
 
 pub use fault::{FaultInjector, FaultPlan, FaultProfile, ResilienceReport};
+pub use harness::{Sweep, SweepConfig, SweepReport};
 pub use paper::TargetSystem;
 pub use session::{ReproductionSession, SessionReport};

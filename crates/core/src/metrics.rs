@@ -59,7 +59,7 @@ impl Table {
             .map(|r| r.label.len())
             .chain(std::iter::once(5))
             .max()
-            .unwrap();
+            .unwrap_or(5);
         out.push_str(&format!("{:label_w$}", ""));
         for c in &cols {
             out.push_str(&format!("  {:>14}", c));
@@ -81,7 +81,7 @@ impl Table {
 
     /// Serialise to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialises")
+        serde_json::to_string_pretty(self).unwrap_or_default()
     }
 }
 

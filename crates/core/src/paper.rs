@@ -44,6 +44,18 @@ impl TargetSystem {
         }
     }
 
+    /// Parse a CLI system name (lowercase aliases of the display name).
+    pub fn parse(s: &str) -> Option<TargetSystem> {
+        match s.to_ascii_lowercase().as_str() {
+            "ncflow" => Some(TargetSystem::NcFlow),
+            "arrow" => Some(TargetSystem::Arrow),
+            "apkeep" => Some(TargetSystem::ApKeep),
+            "ap" | "apverifier" => Some(TargetSystem::ApVerifier),
+            "rps" => Some(TargetSystem::RockPaperScissors),
+            _ => None,
+        }
+    }
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {

@@ -19,6 +19,27 @@ pub enum PromptStyle {
     ModularPseudocode,
 }
 
+impl PromptStyle {
+    /// Stable CLI name (`mono`/`text`/`pseudo`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PromptStyle::Monolithic => "mono",
+            PromptStyle::ModularText => "text",
+            PromptStyle::ModularPseudocode => "pseudo",
+        }
+    }
+
+    /// Parse a CLI style name.
+    pub fn parse(s: &str) -> Option<PromptStyle> {
+        match s.to_ascii_lowercase().as_str() {
+            "mono" | "monolithic" => Some(PromptStyle::Monolithic),
+            "text" | "modular" => Some(PromptStyle::ModularText),
+            "pseudo" | "pseudocode" => Some(PromptStyle::ModularPseudocode),
+            _ => None,
+        }
+    }
+}
+
 /// What a single prompt asks for.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PromptKind {

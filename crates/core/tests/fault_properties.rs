@@ -33,6 +33,8 @@ fn arb_site_kind() -> impl Strategy<Value = (FaultSite, FaultKind)> {
         Just((FaultSite::RpsSocket, FaultKind::SocketDrop)),
         Just((FaultSite::RpsSocket, FaultKind::SocketTimeout)),
         Just((FaultSite::RpsSocket, FaultKind::MalformedFrame)),
+        Just((FaultSite::Harness, FaultKind::TaskPanic)),
+        Just((FaultSite::Harness, FaultKind::TaskWedge)),
     ]
 }
 
