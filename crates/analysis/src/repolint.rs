@@ -56,6 +56,7 @@ impl Default for LintConfig {
             wallclock_files: vec![
                 "crates/core/src/fault.rs".into(),
                 "crates/core/src/harness.rs".into(),
+                "crates/core/src/pool.rs".into(),
                 "crates/core/src/llm.rs".into(),
                 "crates/core/src/session.rs".into(),
                 "crates/lp/src/".into(),
@@ -64,6 +65,7 @@ impl Default for LintConfig {
             hashiter_files: vec![
                 "crates/core/src/fault.rs".into(),
                 "crates/core/src/harness.rs".into(),
+                "crates/core/src/pool.rs".into(),
                 "crates/core/src/session.rs".into(),
                 "crates/core/src/transcript.rs".into(),
                 "crates/core/src/timeline.rs".into(),

@@ -1,6 +1,7 @@
 //! Criterion bench for the crash-safe sweep runtime: straight-through
-//! orchestration cost, journal replay cost, and the resume path
-//! (replay a half-journal, then execute the remainder).
+//! orchestration cost, journal replay cost, the resume path (replay a
+//! half-journal, then execute the remainder), and serial-vs-parallel
+//! execution of a wider matrix through the worker pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netrepro_core::fault::FaultProfile;
@@ -63,5 +64,39 @@ fn bench_replay_and_resume(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_straight_run, bench_replay_and_resume);
+/// A wider matrix for the parallel comparison: 4 systems × 2 styles ×
+/// 2 seeds × 2 profiles = 32 cells, enough work per cell for the pool
+/// to matter.
+fn wide_config() -> SweepConfig {
+    SweepConfig {
+        systems: vec![
+            TargetSystem::NcFlow,
+            TargetSystem::Arrow,
+            TargetSystem::ApKeep,
+            TargetSystem::ApVerifier,
+        ],
+        styles: vec![PromptStyle::ModularText, PromptStyle::ModularPseudocode],
+        seeds: vec![0, 1],
+        profiles: vec![FaultProfile::None, FaultProfile::Chaos],
+        limits: TaskLimits::default(),
+    }
+}
+
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let config = wide_config();
+    let mut g = c.benchmark_group("sweep_workers");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let sweep = Sweep::new(config.clone()).with_workers(w);
+            b.iter(|| {
+                let mut sink = MemoryJournal::new();
+                sweep.run(&mut sink).expect("sweep runs").coverage.completed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_straight_run, bench_replay_and_resume, bench_serial_vs_parallel);
 criterion_main!(benches);

@@ -44,7 +44,7 @@ commands:
             [--stage raw|final] [--json] [--fail-on error|warning|never] [--self-check]
   sweep     [--systems CSV] [--styles CSV] [--seeds N] [--profiles CSV]
             [--journal PATH] [--resume PATH] [--deadline N] [--attempts N] [--breaker N]
-            [--json] [--out FILE] [--halt-after K] [--throttle-ms MS]
+            [--workers N] [--json] [--out FILE] [--halt-after K] [--throttle-ms MS]
   rps       serve [--addr H:P] | play [--addr H:P] [--moves RPSR...]
 ";
 
@@ -501,6 +501,14 @@ pub fn analyze(a: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Default sweep worker count: the machine's available parallelism,
+/// capped at 8. The cap keeps speculative execution bounded — beyond
+/// the matrix's class width, extra workers mostly execute cells a
+/// breaker will discard at commit time.
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
 /// Write-ahead journal sink over a real file. Each line is written and
 /// flushed before the sweep moves on, so a `SIGKILL` between appends
 /// loses at most the line being written — exactly the torn-trailing
@@ -625,10 +633,19 @@ pub fn sweep(a: &Args) -> CmdResult {
         breaker_threshold: a.get_or("breaker", defaults.breaker_threshold)?,
     };
     let config = SweepConfig { systems, styles, seeds: (0..n_seeds).collect(), profiles, limits };
-    let runtime = Sweep::new(config.clone()).with_gate(Box::new(|spec, arts| {
-        let (report, _) = analysis::gate::gate_artifacts(spec, arts);
-        analysis::gate::static_gate(&report)
-    }));
+    let workers: usize = match a.get("workers") {
+        Some(_) => a.get_or("workers", 1)?,
+        None => default_workers(),
+    };
+    if workers == 0 {
+        return Err(ArgError("--workers must be at least 1".into()));
+    }
+    let runtime = Sweep::new(config.clone())
+        .with_workers(workers)
+        .with_gate(Box::new(|spec, arts| {
+            let (report, _) = analysis::gate::gate_artifacts(spec, arts);
+            analysis::gate::static_gate(&report)
+        }));
     let halt_after =
         if a.has("halt-after") { Some(a.require::<u64>("halt-after")?) } else { None };
     let throttle_ms: u64 = a.get_or("throttle-ms", 0)?;

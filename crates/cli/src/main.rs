@@ -14,7 +14,8 @@
 //!                   [--stage raw|final] [--json] [--fail-on error|warning|never] [--self-check]
 //! netrepro sweep    [--systems CSV] [--styles CSV] [--seeds N] [--profiles CSV]
 //!                   [--journal PATH] [--resume PATH] [--deadline N] [--attempts N]
-//!                   [--breaker N] [--json] [--out FILE] [--halt-after K] [--throttle-ms MS]
+//!                   [--breaker N] [--workers N] [--json] [--out FILE] [--halt-after K]
+//!                   [--throttle-ms MS]
 //! netrepro rps      serve [--addr HOST:PORT] | play [--addr HOST:PORT] [--moves RPS...]
 //! ```
 //!

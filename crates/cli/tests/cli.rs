@@ -306,6 +306,113 @@ fn sweep_chaos_reports_nonempty_quarantine() {
 }
 
 #[test]
+fn sweep_parallel_workers_match_serial_bytes() {
+    let matrix: &[&str] = &[
+        "--systems", "ncflow,rps", "--styles", "text,pseudo", "--seeds", "3", "--profiles",
+        "none,chaos",
+    ];
+    let (sj, so) = (scratch("par-serial.jsonl"), scratch("par-serial.json"));
+    let (_, _, ok) = run(
+        &[&["sweep"], matrix, &["--workers", "1", "--journal", &sj, "--out", &so]].concat(),
+    );
+    assert!(ok, "serial sweep runs");
+    for workers in ["2", "4"] {
+        let (pj, po) = (
+            scratch(&format!("par-w{workers}.jsonl")),
+            scratch(&format!("par-w{workers}.json")),
+        );
+        let (_, _, ok) = run(
+            &[&["sweep"], matrix, &["--workers", workers, "--journal", &pj, "--out", &po]]
+                .concat(),
+        );
+        assert!(ok, "parallel sweep runs");
+        assert_eq!(
+            std::fs::read_to_string(&sj).unwrap(),
+            std::fs::read_to_string(&pj).unwrap(),
+            "--workers {workers} journal must be byte-identical to serial"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&so).unwrap(),
+            std::fs::read_to_string(&po).unwrap(),
+            "--workers {workers} report must be byte-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn sweep_parallel_halt_and_resume_matches_serial_run() {
+    let matrix: &[&str] =
+        &["--systems", "ncflow,rps", "--styles", "text", "--seeds", "2", "--profiles", "none,chaos"];
+    let (bj, bo) = (scratch("phalt-base.jsonl"), scratch("phalt-base.json"));
+    let (kj, ko) = (scratch("phalt-kill.jsonl"), scratch("phalt-kill.json"));
+    let (_, _, ok) = run(
+        &[&["sweep"], matrix, &["--workers", "1", "--journal", &bj, "--out", &bo]].concat(),
+    );
+    assert!(ok, "serial baseline runs");
+    // Tear the journal mid-line under 4 workers, then resume under 4
+    // workers: the committed prefix plus the re-run remainder must
+    // reproduce the serial journal and report exactly.
+    let (_, _, code) = run_code(
+        &[&["sweep"], matrix, &["--workers", "4", "--journal", &kj, "--halt-after", "4"]]
+            .concat(),
+    );
+    assert_eq!(code, Some(3), "halt-after must exit 3");
+    let (_, stderr, ok) = run(
+        &[&["sweep"], matrix, &["--workers", "4", "--resume", &kj, "--out", &ko]].concat(),
+    );
+    assert!(ok, "parallel resume must succeed: {stderr}");
+    assert!(stderr.contains("dropped a torn trailing record"), "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&bj).unwrap(),
+        std::fs::read_to_string(&kj).unwrap(),
+        "parallel-resumed journal must match the serial one"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&bo).unwrap(),
+        std::fs::read_to_string(&ko).unwrap(),
+        "parallel-resumed report must match the serial one"
+    );
+}
+
+#[test]
+fn sweep_resume_on_torn_header_only_journal_starts_fresh() {
+    let matrix: &[&str] =
+        &["--systems", "rps", "--styles", "text", "--seeds", "2", "--profiles", "none"];
+    let (bj, bo) = (scratch("torn-base.jsonl"), scratch("torn-base.json"));
+    let (_, _, ok) =
+        run(&[&["sweep"], matrix, &["--journal", &bj, "--out", &bo]].concat());
+    assert!(ok, "baseline sweep runs");
+    // A journal whose only content is a partial header line — the
+    // process died inside the very first append. Resume must treat it
+    // as empty, rewrite the header, and run the whole matrix.
+    let full = std::fs::read_to_string(&bj).unwrap();
+    let header = full.split_inclusive('\n').next().unwrap();
+    let (tj, to) = (scratch("torn-head.jsonl"), scratch("torn-head.json"));
+    std::fs::write(&tj, &header[..header.len() / 2]).unwrap();
+    let (_, stderr, ok) =
+        run(&[&["sweep"], matrix, &["--resume", &tj, "--out", &to]].concat());
+    assert!(ok, "resume on a torn-header journal must exit cleanly: {stderr}");
+    assert!(stderr.contains("0 of 2 cells journaled"), "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&bj).unwrap(),
+        std::fs::read_to_string(&tj).unwrap(),
+        "fresh-start journal must match the uninterrupted one"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&bo).unwrap(),
+        std::fs::read_to_string(&to).unwrap(),
+        "fresh-start report must match the uninterrupted one"
+    );
+}
+
+#[test]
+fn sweep_rejects_zero_workers() {
+    let (_, stderr, ok) = run(&["sweep", "--workers", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--workers"), "{stderr}");
+}
+
+#[test]
 fn sweep_rejects_unknown_system() {
     let (_, stderr, ok) = run(&["sweep", "--systems", "ncflow,quantum"]);
     assert!(!ok);

@@ -46,6 +46,9 @@ pub enum FaultSite {
     /// The sweep harness supervising a task (crash/wedge of a whole
     /// matrix cell, as opposed to a failure inside the session).
     Harness,
+    /// A worker thread in the parallel sweep pool (the machinery
+    /// *around* a cell, as opposed to the cell's own supervision).
+    Worker,
 }
 
 impl FaultSite {
@@ -59,11 +62,12 @@ impl FaultSite {
             FaultSite::DpvDataset => "dpv-dataset",
             FaultSite::RpsSocket => "rps-socket",
             FaultSite::Harness => "harness",
+            FaultSite::Worker => "worker",
         }
     }
 
     /// Every site, in report order.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::LlmResponse,
         FaultSite::Session,
         FaultSite::LpSolver,
@@ -71,6 +75,7 @@ impl FaultSite {
         FaultSite::DpvDataset,
         FaultSite::RpsSocket,
         FaultSite::Harness,
+        FaultSite::Worker,
     ];
 }
 
@@ -107,6 +112,12 @@ pub enum FaultKind {
     /// A whole sweep task wedges and never finishes (the harness's
     /// step-budget deadline reaps it).
     TaskWedge,
+    /// A pool worker dies while holding a cell; the pool re-executes
+    /// the cell, so the committed outcome is unchanged.
+    WorkerCrash,
+    /// A pool worker is descheduled mid-cell, perturbing execution
+    /// order (but never commit order).
+    WorkerStall,
 }
 
 impl FaultKind {
@@ -126,6 +137,8 @@ impl FaultKind {
             FaultKind::MalformedFrame => "malformed-frame",
             FaultKind::TaskPanic => "task-panic",
             FaultKind::TaskWedge => "task-wedge",
+            FaultKind::WorkerCrash => "worker-crash",
+            FaultKind::WorkerStall => "worker-stall",
         }
     }
 }
@@ -186,6 +199,10 @@ impl FaultProfile {
             // failures but cost a full attempt each.
             FaultKind::TaskPanic => 0.6,
             FaultKind::TaskWedge => 0.5,
+            // Worker-site faults strike the pool machinery itself; the
+            // pool must absorb them without touching any cell outcome.
+            FaultKind::WorkerCrash => 0.4,
+            FaultKind::WorkerStall => 0.5,
         };
         (base * weight).min(0.95)
     }

@@ -58,6 +58,7 @@ pub const JOURNAL_VERSION: u32 = 1;
 const SALT_SESSION: u64 = 0x5e55_1011_0000_0001;
 const SALT_FAULTS: u64 = 0xfa17_0a75_0000_0002;
 const SALT_HARNESS: u64 = 0x4a52_4e53_0000_0003;
+pub(crate) const SALT_WORKER: u64 = 0x3090_4b32_0000_0004;
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -78,7 +79,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// The seed for one of a cell's RNG streams. Pure function of the cell
 /// key, the attempt number and the stream salt — no state crosses
 /// cells, which is what makes journal replay sound.
-fn derive_seed(cell: CellId, attempt: u32, salt: u64) -> u64 {
+pub(crate) fn derive_seed(cell: CellId, attempt: u32, salt: u64) -> u64 {
     splitmix64(
         fnv1a64(cell.key().as_bytes())
             ^ cell.seed.rotate_left(17)
@@ -159,11 +160,22 @@ impl Default for TaskLimits {
 
 impl TaskLimits {
     /// Backoff after failed attempt `attempt`: `min(base << attempt,
-    /// cap)`.
+    /// cap)`, saturating at the cap once the shift would overflow.
+    ///
+    /// `checked_shl` is *not* enough here: it only returns `None` for
+    /// shift amounts ≥ 64, while `8 << 61` silently wraps the *value*
+    /// to zero — which collapsed the backoff to `min(0, cap) = 0` for
+    /// large attempt counts instead of pinning it at the cap.
     pub fn backoff(&self, attempt: u32) -> u64 {
-        self.backoff_base
-            .checked_shl(attempt)
-            .map_or(self.backoff_cap, |v| v.min(self.backoff_cap))
+        if self.backoff_base == 0 {
+            return 0;
+        }
+        if attempt > self.backoff_base.leading_zeros() {
+            // The shifted value no longer fits in u64; it is certainly
+            // past any cap ≤ u64::MAX.
+            return self.backoff_cap;
+        }
+        (self.backoff_base << attempt).min(self.backoff_cap)
     }
 }
 
@@ -243,7 +255,9 @@ fn install_quiet_hook() {
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<InjectedCrash>().is_none() {
+            let injected = info.payload().downcast_ref::<InjectedCrash>().is_some()
+                || info.payload().downcast_ref::<crate::pool::InjectedWorkerCrash>().is_some();
+            if !injected {
                 prev(info);
             }
         }));
@@ -597,8 +611,9 @@ pub fn parse_journal(text: &str, config: &SweepConfig) -> Result<Replay, Journal
 
 /// Hook the CLI uses to wire the static auditor gate in without making
 /// `core` depend on `analysis`: given the spec and the shipped
-/// artifacts, return the gate summary.
-pub type GateFn = Box<dyn Fn(&PaperSpec, &[CodeArtifact]) -> StaticGate>;
+/// artifacts, return the gate summary. `Send + Sync` because pool
+/// workers call the gate from their own threads.
+pub type GateFn = Box<dyn Fn(&PaperSpec, &[CodeArtifact]) -> StaticGate + Send + Sync>;
 
 /// Coverage accounting over the full matrix. Invariant: `completed +
 /// quarantined + skipped_by_breaker == total` and `attempted ==
@@ -720,10 +735,30 @@ fn json_line<T: Serialize>(value: &T) -> Result<String, String> {
         .map_err(|e| e.to_string())
 }
 
+/// Everything one cell's execution produces *before* commit-time
+/// supervision state is applied: the attempt history, the outcome, the
+/// fault tally, and the virtual ticks consumed. A pure function of the
+/// [`CellId`] (every RNG stream is derived from the cell key), which
+/// is what makes speculative parallel execution sound: the pool can
+/// run cells in any order and the commit step re-anchors them to the
+/// canonical clock and breaker state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellWork {
+    /// Every attempt, in order.
+    pub attempts: Vec<AttemptRecord>,
+    /// The outcome (present iff the final attempt completed).
+    pub result: Option<CellResult>,
+    /// Fault counts across all attempts plus the harness injector.
+    pub faults: FaultTally,
+    /// Total virtual ticks consumed (steps plus backoff).
+    pub ticks: u64,
+}
+
 /// The supervised sweep runtime.
 pub struct Sweep {
     config: SweepConfig,
     gate: Option<GateFn>,
+    workers: usize,
 }
 
 impl std::fmt::Debug for Sweep {
@@ -731,14 +766,15 @@ impl std::fmt::Debug for Sweep {
         f.debug_struct("Sweep")
             .field("config", &self.config)
             .field("gate", &self.gate.is_some())
+            .field("workers", &self.workers)
             .finish()
     }
 }
 
 impl Sweep {
-    /// A sweep over `config`, with no auditor gate.
+    /// A sweep over `config`, with no auditor gate, executing serially.
     pub fn new(config: SweepConfig) -> Self {
-        Sweep { config, gate: None }
+        Sweep { config, gate: None, workers: 1 }
     }
 
     /// Wire in the static auditor gate; a rejecting gate fails the
@@ -746,6 +782,20 @@ impl Sweep {
     pub fn with_gate(mut self, gate: GateFn) -> Self {
         self.gate = Some(gate);
         self
+    }
+
+    /// Execute cells on `workers` threads (clamped to at least 1).
+    /// Cells run out of order but commit in canonical matrix order, so
+    /// the journal and report are byte-identical for every worker
+    /// count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The configuration this sweep runs.
@@ -772,6 +822,13 @@ impl Sweep {
 
     /// Replay `replay` and execute every remaining cell, appending each
     /// finished record to `sink` before moving on (write-ahead).
+    ///
+    /// With `workers > 1` the remaining cells are executed
+    /// speculatively on a pool ([`crate::pool`]) and **committed** in
+    /// canonical matrix order through a reorder buffer; supervision
+    /// state (breaker counts, the virtual clock) advances only at
+    /// commit, so the journal and report are byte-identical to a
+    /// single-worker run.
     pub fn run_from(&self, replay: &Replay, sink: &mut dyn JournalSink) -> Result<SweepReport, String> {
         install_quiet_hook();
         let cells = self.config.expand();
@@ -798,78 +855,133 @@ impl Sweep {
                 *breaker.entry(r.cell.class()).or_insert(0) += 1;
             }
         }
-        for (i, &cell) in cells.iter().enumerate().skip(records.len()) {
-            let record = self.run_cell(cell, &mut clock, &mut breaker);
-            sink.append(&json_line(&CellLine { index: i as u64, record: record.clone() })?)?;
-            records.push(record);
+        let start = records.len();
+        if self.workers > 1 && cells.len() - start > 1 {
+            crate::pool::run_ordered(
+                self.workers,
+                &cells[start..],
+                |cell| self.execute_cell(cell),
+                |offset, work| {
+                    let i = start + offset;
+                    let record = self.commit_cell(cells[i], Some(work), &mut clock, &mut breaker);
+                    sink.append(&json_line(&CellLine { index: i as u64, record: record.clone() })?)?;
+                    records.push(record);
+                    Ok(())
+                },
+            )?;
+        } else {
+            for (i, &cell) in cells.iter().enumerate().skip(start) {
+                // Serial fast path: consult the breaker *before*
+                // executing, so a skipped cell costs nothing. The
+                // parallel path executes speculatively and discards at
+                // commit — same records either way, because
+                // `commit_cell` makes the identical decision.
+                let work = if self.breaker_tripped(&breaker, cell) {
+                    None
+                } else {
+                    Some(self.execute_cell(cell))
+                };
+                let record = self.commit_cell(cell, work, &mut clock, &mut breaker);
+                sink.append(&json_line(&CellLine { index: i as u64, record: record.clone() })?)?;
+                records.push(record);
+            }
         }
         Ok(self.assemble(records, clock))
     }
 
-    /// Supervise one cell to a terminal status.
-    fn run_cell(
+    /// Whether `cell`'s class has tripped its circuit breaker.
+    fn breaker_tripped(&self, breaker: &BTreeMap<String, u32>, cell: CellId) -> bool {
+        breaker.get(&cell.class()).copied().unwrap_or(0) >= self.config.limits.breaker_threshold
+    }
+
+    /// Commit one cell: the only place supervision state (virtual
+    /// clock, breaker counts) advances. Re-validates the breaker *at
+    /// commit time* — a speculatively executed cell whose class was
+    /// quarantined past its threshold by an earlier-committing cell is
+    /// discarded here and recorded as [`CellStatus::SkippedByBreaker`],
+    /// which is what makes worker-count-independence structural rather
+    /// than incidental.
+    fn commit_cell(
         &self,
         cell: CellId,
+        work: Option<CellWork>,
         clock: &mut u64,
         breaker: &mut BTreeMap<String, u32>,
     ) -> CellRecord {
         let clock_start = *clock;
-        let limits = self.config.limits;
-        let class = cell.class();
-        if breaker.get(&class).copied().unwrap_or(0) >= limits.breaker_threshold {
-            return CellRecord {
-                cell,
-                status: CellStatus::SkippedByBreaker,
-                attempts: Vec::new(),
-                result: None,
-                faults: FaultTally::zero(),
-                clock_start,
-                clock_end: clock_start,
-            };
+        let work = match work {
+            Some(work) if !self.breaker_tripped(breaker, cell) => work,
+            // Either the serial path never executed the cell, or the
+            // parallel path executed it speculatively and the breaker
+            // tripped before its commit slot: both commit as skipped.
+            _ => {
+                return CellRecord {
+                    cell,
+                    status: CellStatus::SkippedByBreaker,
+                    attempts: Vec::new(),
+                    result: None,
+                    faults: FaultTally::zero(),
+                    clock_start,
+                    clock_end: clock_start,
+                }
+            }
+        };
+        let status = if work.result.is_some() {
+            CellStatus::Completed
+        } else {
+            *breaker.entry(cell.class()).or_insert(0) += 1;
+            CellStatus::Quarantined
+        };
+        *clock += work.ticks;
+        CellRecord {
+            cell,
+            status,
+            attempts: work.attempts,
+            result: work.result,
+            faults: work.faults,
+            clock_start,
+            clock_end: *clock,
         }
+    }
+
+    /// Execute one cell to completion or retry exhaustion. Pure
+    /// function of the cell id (all RNG streams derive from the cell
+    /// key), deliberately ignorant of the clock and the breaker — those
+    /// belong to [`Sweep::commit_cell`].
+    pub(crate) fn execute_cell(&self, cell: CellId) -> CellWork {
+        let limits = self.config.limits;
         let mut harness_faults =
             FaultPlan::new(cell.profile, derive_seed(cell, 0, SALT_HARNESS)).injector();
         let mut pending: Vec<FaultId> = Vec::new();
         let mut attempts = Vec::new();
         let mut result = None;
         let mut tally = FaultTally::zero();
+        let mut ticks = 0u64;
         for attempt in 0..limits.max_attempts {
             let (verdict, steps, outcome) =
                 self.run_attempt(cell, attempt, &mut harness_faults, &mut pending, &mut tally);
-            *clock += steps;
+            ticks += steps;
             let done = verdict == AttemptVerdict::Completed;
             let backoff = if done || attempt + 1 == limits.max_attempts {
                 0
             } else {
                 limits.backoff(attempt)
             };
-            *clock += backoff;
+            ticks += backoff;
             attempts.push(AttemptRecord { attempt, verdict, steps, backoff });
             if done {
                 result = outcome;
                 break;
             }
         }
-        let status = if result.is_some() {
+        if result.is_some() {
             // The retries absorbed whatever the harness injected.
             for id in pending.drain(..) {
                 harness_faults.absorb(id);
             }
-            CellStatus::Completed
-        } else {
-            *breaker.entry(class).or_insert(0) += 1;
-            CellStatus::Quarantined
-        };
-        tally.add(&harness_faults.report());
-        CellRecord {
-            cell,
-            status,
-            attempts,
-            result,
-            faults: tally,
-            clock_start,
-            clock_end: *clock,
         }
+        tally.add(&harness_faults.report());
+        CellWork { attempts, result, faults: tally, ticks }
     }
 
     /// Run one attempt under panic isolation and the step deadline.
@@ -1214,6 +1326,191 @@ mod tests {
         };
         let seq: Vec<u64> = (0..8).map(|a| limits.backoff(a)).collect();
         assert_eq!(seq, vec![8, 16, 32, 64, 64, 64, 64, 64]);
+    }
+
+    #[test]
+    fn backoff_saturates_at_cap_for_large_attempts() {
+        // Regression: `8u64.checked_shl(61)` is `Some(0)` — the value
+        // wraps while the shift amount is still < 64 — which used to
+        // collapse the backoff to `min(0, cap) = 0` from attempt 61 on.
+        let limits = TaskLimits {
+            deadline_steps: 400,
+            max_attempts: 128,
+            backoff_base: 8,
+            backoff_cap: 64,
+            breaker_threshold: 3,
+        };
+        for attempt in 0..=70u32 {
+            let got = limits.backoff(attempt);
+            let want = if attempt >= 3 { 64 } else { 8u64 << attempt };
+            assert_eq!(got, want, "attempt {attempt}");
+            assert!(got > 0, "backoff must never collapse to 0 (attempt {attempt})");
+        }
+        // An enormous cap exposes the raw shift: the wrap point is
+        // where saturation must kick in, not wrap to zero.
+        let wide = TaskLimits { backoff_cap: u64::MAX, ..limits };
+        assert_eq!(wide.backoff(60), 8 << 60);
+        for attempt in 61..=70u32 {
+            assert_eq!(wide.backoff(attempt), u64::MAX, "attempt {attempt}");
+        }
+        // Degenerate base: no backoff at all, at any attempt.
+        let zero = TaskLimits { backoff_base: 0, ..limits };
+        for attempt in 0..=70u32 {
+            assert_eq!(zero.backoff(attempt), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_bytes() {
+        let mut cfg = tiny_config();
+        cfg.seeds = vec![0, 1, 2];
+        let serial = {
+            let mut sink = MemoryJournal::new();
+            let report = Sweep::new(cfg.clone()).run(&mut sink).unwrap();
+            (report.render_json(), sink.text().to_string())
+        };
+        for workers in [2, 4, 8] {
+            let mut sink = MemoryJournal::new();
+            let report =
+                Sweep::new(cfg.clone()).with_workers(workers).run(&mut sink).unwrap();
+            assert_eq!(report.render_json(), serial.0, "report differs at workers={workers}");
+            assert_eq!(sink.text(), serial.1, "journal differs at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_commit_revalidates_breaker() {
+        // Tight deadline: every cell quarantines until the breaker
+        // trips, so the parallel run *speculatively executes* cells the
+        // serial run never touches — commit-time re-validation must
+        // discard them and record SkippedByBreaker identically.
+        let mut cfg = tiny_config();
+        cfg.systems = vec![TargetSystem::NcFlow];
+        cfg.profiles = vec![FaultProfile::None];
+        cfg.seeds = (0..6).collect();
+        cfg.limits.deadline_steps = 5;
+        cfg.limits.breaker_threshold = 3;
+        let mut serial_sink = MemoryJournal::new();
+        let serial = Sweep::new(cfg.clone()).run(&mut serial_sink).unwrap();
+        assert!(serial.coverage.skipped_by_breaker > 0, "{:?}", serial.coverage);
+        for workers in [2, 4, 8] {
+            let mut sink = MemoryJournal::new();
+            let report =
+                Sweep::new(cfg.clone()).with_workers(workers).run(&mut sink).unwrap();
+            assert_eq!(report.render_json(), serial.render_json(), "workers={workers}");
+            assert_eq!(sink.text(), serial_sink.text(), "workers={workers}");
+        }
+    }
+
+    /// A config whose breaker trips mid-class: 5 seeds of one class,
+    /// threshold 3 — cells 0..2 quarantine, cells 3..4 are skipped.
+    fn tripping_config() -> SweepConfig {
+        let mut cfg = tiny_config();
+        cfg.systems = vec![TargetSystem::NcFlow];
+        cfg.profiles = vec![FaultProfile::None];
+        cfg.seeds = (0..5).collect();
+        cfg.limits.deadline_steps = 5;
+        cfg.limits.breaker_threshold = 3;
+        cfg
+    }
+
+    #[test]
+    fn breaker_rebuild_is_exact_at_every_resume_point() {
+        // Regression for the run_from breaker rebuild: resuming at any
+        // prefix — including mid-class with the quarantine count at
+        // threshold−1 — must neither skip a cell the live run executed
+        // nor execute a cell the live run skipped.
+        let cfg = tripping_config();
+        let sweep = Sweep::new(cfg.clone());
+        let mut full_sink = MemoryJournal::new();
+        let full = sweep.run(&mut full_sink).unwrap();
+        assert_eq!(full.coverage.quarantined, 3);
+        assert_eq!(full.coverage.skipped_by_breaker, 2);
+        let lines: Vec<&str> = full_sink.text().split_inclusive('\n').collect();
+        for cut in 0..=lines.len() {
+            let prefix: String = lines[..cut].concat();
+            let replay = parse_journal(&prefix, &cfg).unwrap();
+            let mut sink = MemoryJournal::with_text(&prefix);
+            let resumed = sweep.run_from(&replay, &mut sink).unwrap();
+            assert_eq!(resumed.render_json(), full.render_json(), "cut at line {cut}");
+            assert_eq!(sink.text(), full_sink.text(), "journal rebuilt at cut {cut}");
+        }
+        // The threshold−1 landing specifically: two quarantines
+        // replayed (header + 2 records), the breaker sits one short of
+        // tripping, and the next executed cell must tip it over.
+        let prefix: String = lines[..3].concat();
+        let replay = parse_journal(&prefix, &cfg).unwrap();
+        assert_eq!(
+            replay.records.iter().filter(|r| r.status == CellStatus::Quarantined).count(),
+            2
+        );
+        let mut sink = MemoryJournal::with_text(&prefix);
+        let resumed = sweep.run_from(&replay, &mut sink).unwrap();
+        assert_eq!(resumed.coverage.skipped_by_breaker, 2);
+        assert_eq!(resumed.render_json(), full.render_json());
+    }
+
+    #[test]
+    fn parallel_resume_matches_serial_resume_at_every_prefix() {
+        let cfg = tripping_config();
+        let sweep = Sweep::new(cfg.clone());
+        let mut full_sink = MemoryJournal::new();
+        let full = sweep.run(&mut full_sink).unwrap();
+        let lines: Vec<&str> = full_sink.text().split_inclusive('\n').collect();
+        let parallel = Sweep::new(cfg.clone()).with_workers(4);
+        for cut in 0..=lines.len() {
+            let prefix: String = lines[..cut].concat();
+            let replay = parse_journal(&prefix, &cfg).unwrap();
+            let mut sink = MemoryJournal::with_text(&prefix);
+            let resumed = parallel.run_from(&replay, &mut sink).unwrap();
+            assert_eq!(resumed.render_json(), full.render_json(), "cut at line {cut}");
+            assert_eq!(sink.text(), full_sink.text(), "journal rebuilt at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn torn_header_prefix_is_a_fresh_journal() {
+        // A journal whose only content is a partial header line — the
+        // process died mid-way through the very first append — must be
+        // treated as empty (fresh header rewritten on resume), never as
+        // a hard parse error.
+        let cfg = tiny_config();
+        let sweep = Sweep::new(cfg.clone());
+        let mut full_sink = MemoryJournal::new();
+        let full = sweep.run(&mut full_sink).unwrap();
+        let header_line = full_sink.text().split_inclusive('\n').next().unwrap();
+        // Every strict prefix of the header, newline excluded: torn.
+        for cut in 1..header_line.len() - 1 {
+            let torn = &header_line[..cut];
+            let replay = parse_journal(torn, &cfg)
+                .unwrap_or_else(|e| panic!("torn header prefix ({cut} bytes) must parse: {e}"));
+            assert!(replay.dropped_partial, "cut {cut}");
+            assert!(!replay.has_header, "cut {cut}");
+            assert_eq!(replay.valid_bytes, 0, "cut {cut}");
+            assert!(replay.records.is_empty(), "cut {cut}");
+            // And the resume is a full, byte-identical fresh run.
+            let mut sink = MemoryJournal::new();
+            let resumed = sweep.run_from(&replay, &mut sink).unwrap();
+            assert_eq!(resumed.render_json(), full.render_json(), "cut {cut}");
+            assert_eq!(sink.text(), full_sink.text(), "cut {cut}");
+        }
+        // A *complete but unterminated* header (torn before the
+        // newline) is also a fresh start — the record includes its
+        // terminator.
+        let unterminated = header_line.trim_end_matches('\n');
+        let replay = parse_journal(unterminated, &cfg).unwrap();
+        assert!(replay.dropped_partial && !replay.has_header);
+        assert_eq!(replay.valid_bytes, 0);
+    }
+
+    #[test]
+    fn newline_terminated_garbage_header_is_corrupt() {
+        // A terminated garbage first line is damage, not a torn write
+        // (torn appends never end in a newline): rejected outright.
+        match parse_journal("not json at all\n", &tiny_config()) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 0),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -40,7 +40,10 @@
 //!   validation discrepancies;
 //! * [`metrics`] — serialisable experiment records;
 //! * [`harness`] — the crash-safe, journaled sweep runtime over the
-//!   full experiment matrix.
+//!   full experiment matrix;
+//! * [`pool`] — the bounded worker pool + reorder buffer that lets the
+//!   sweep execute cells out of order while committing them in
+//!   canonical order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +56,7 @@ pub mod harness;
 pub mod llm;
 pub mod metrics;
 pub mod paper;
+pub mod pool;
 pub mod prompt;
 pub mod session;
 pub mod student;

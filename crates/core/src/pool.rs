@@ -1,0 +1,459 @@
+//! Bounded worker pool with a reorder buffer for the parallel sweep
+//! executor.
+//!
+//! The sweep matrix is embarrassingly parallel *by construction*:
+//! every cell derives its RNG streams from its own key
+//! ([`crate::harness::derive_seed`]), so execution order cannot perturb
+//! any cell's outcome. What is **not** order-free is supervision state
+//! — the virtual clock and the per-class circuit breaker — so the pool
+//! splits the two:
+//!
+//! * **Workers** claim cells in canonical order from a shared cursor
+//!   and execute them *speculatively*, out of order, with no access to
+//!   clock or breaker state.
+//! * **The commit loop** (the caller's thread) receives finished cells
+//!   into a reorder buffer and commits them strictly in canonical
+//!   matrix order. All supervision decisions — skip-by-breaker,
+//!   clock assignment, journal append — happen at commit, in
+//!   `harness::commit_cell`, so the journal and report are
+//!   byte-identical for every worker count.
+//! * **Bounded speculation** — workers may run at most
+//!   `workers × SPECULATION_PER_WORKER` cells ahead of the commit
+//!   frontier, so a slow sink (e.g. a throttled journal) cannot make
+//!   the reorder buffer grow without bound.
+//!
+//! Worker-site faults ([`crate::fault::FaultSite::Worker`]) strike the
+//! pool machinery itself, not the cell: a `worker-crash` kills the
+//! worker's execution of a cell mid-flight (the pool catches the typed
+//! panic and re-executes the cell — outcomes are pure, so the retry is
+//! sound), and a `worker-stall` deschedules the worker, perturbing
+//! completion order. Both are absorbed entirely inside the pool and
+//! are tracked in [`PoolStats`], never in the journal: a faulted
+//! parallel run must still be byte-identical to `--workers 1`.
+//!
+//! Any *other* panic escaping a cell is a genuine bug: the worker
+//! ships the payload to the commit loop, which re-raises it with
+//! `resume_unwind` at the cell's canonical commit slot — the same
+//! boundary where a serial run would have died, with the same journal
+//! prefix on disk.
+
+use crate::fault::{FaultKind, FaultPlan, FaultSite};
+use crate::harness::{derive_seed, CellId, SALT_WORKER};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// How many cells each worker may speculate past the commit frontier.
+const SPECULATION_PER_WORKER: usize = 4;
+
+/// How many scheduler yields an injected `worker-stall` burns.
+const STALL_YIELDS: u32 = 8;
+
+/// Panic payload for an injected worker crash — distinguishable by
+/// downcast from both a genuine bug and an in-cell
+/// [`crate::harness::InjectedCrash`].
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedWorkerCrash {
+    /// The cell the worker was holding when it died.
+    pub cell: CellId,
+}
+
+/// What the pool machinery absorbed, over and above the cell outcomes.
+/// Deliberately *not* part of the byte-compared report: worker-site
+/// faults must leave the journal untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Cell executions that ran to completion on a worker (an injected
+    /// crash kills the worker *before* the cell runs, so each cell
+    /// completes exactly once).
+    pub executed: u64,
+    /// Injected worker crashes absorbed by re-execution.
+    pub crashes_absorbed: u64,
+    /// Injected worker stalls absorbed by rescheduling.
+    pub stalls_absorbed: u64,
+}
+
+#[derive(Default)]
+struct StatCounters {
+    executed: AtomicU64,
+    crashes: AtomicU64,
+    stalls: AtomicU64,
+}
+
+impl StatCounters {
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            crashes_absorbed: self.crashes.load(Ordering::Relaxed),
+            stalls_absorbed: self.stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared dispatch state: the claim cursor, the commit frontier, and
+/// the stop flag. Workers wait on the condvar while the speculation
+/// window is full.
+struct Gate {
+    state: Mutex<DispatchState>,
+    ready: Condvar,
+    window: usize,
+    total: usize,
+}
+
+struct DispatchState {
+    next: usize,
+    committed: usize,
+    stop: bool,
+}
+
+impl Gate {
+    fn new(total: usize, window: usize) -> Gate {
+        Gate {
+            state: Mutex::new(DispatchState { next: 0, committed: 0, stop: false }),
+            ready: Condvar::new(),
+            window,
+            total,
+        }
+    }
+
+    /// Lock the state, recovering the guard from a poisoned mutex: a
+    /// worker that panicked between lock and unlock only ever held
+    /// plain counters, which stay internally consistent.
+    fn lock(&self) -> MutexGuard<'_, DispatchState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Claim the next cell index, blocking while the speculation window
+    /// is full. `None` means no work remains (or the pool is stopping).
+    fn claim(&self) -> Option<usize> {
+        let mut g = self.lock();
+        loop {
+            if g.stop || g.next >= self.total {
+                return None;
+            }
+            if g.next < g.committed + self.window {
+                let i = g.next;
+                g.next += 1;
+                return Some(i);
+            }
+            g = self.ready.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Advance the commit frontier, releasing waiting workers.
+    fn advance(&self, committed: usize) {
+        let mut g = self.lock();
+        g.committed = committed;
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    /// Stop the pool: wake every waiting worker so it can exit.
+    fn shutdown(&self) {
+        let mut g = self.lock();
+        g.stop = true;
+        drop(g);
+        self.ready.notify_all();
+    }
+}
+
+/// Shuts the pool down when dropped — including during an unwind out
+/// of the commit loop, so workers parked on the window condvar can
+/// never deadlock a propagating panic or an early `Err` return.
+struct ShutdownGuard<'a>(&'a Gate);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Execute one cell on a worker, absorbing injected worker-site
+/// faults. Returns the execute result or a genuine panic payload.
+fn worker_execute<W, X>(
+    cell: CellId,
+    execute: &X,
+    stats: &StatCounters,
+) -> std::thread::Result<W>
+where
+    X: Fn(CellId) -> W,
+{
+    let mut faults = FaultPlan::new(cell.profile, derive_seed(cell, 0, SALT_WORKER)).injector();
+    if let Some(id) = faults.roll(FaultSite::Worker, FaultKind::WorkerStall) {
+        for _ in 0..STALL_YIELDS {
+            std::thread::yield_now();
+        }
+        faults.absorb(id);
+        stats.stalls.fetch_add(1, Ordering::Relaxed);
+    }
+    let crash = faults.roll(FaultSite::Worker, FaultKind::WorkerCrash);
+    let first = catch_unwind(AssertUnwindSafe(|| {
+        if crash.is_some() {
+            std::panic::panic_any(InjectedWorkerCrash { cell });
+        }
+        stats.executed.fetch_add(1, Ordering::Relaxed);
+        execute(cell)
+    }));
+    match first {
+        Err(payload) if payload.downcast_ref::<InjectedWorkerCrash>().is_some() => {
+            // The worker died at the pool layer before (or instead of)
+            // finishing the cell; cell execution is a pure function of
+            // the cell id, so re-executing is sound and the fault is
+            // absorbed invisibly.
+            if let Some(id) = crash {
+                faults.absorb(id);
+            }
+            stats.crashes.fetch_add(1, Ordering::Relaxed);
+            stats.executed.fetch_add(1, Ordering::Relaxed);
+            catch_unwind(AssertUnwindSafe(|| execute(cell)))
+        }
+        other => other,
+    }
+}
+
+/// Run `cells` through `execute` on `workers` threads, delivering each
+/// result to `commit` **in slice order** through a reorder buffer.
+/// `commit` receives the cell's offset within `cells` plus the
+/// produced work; an `Err` from `commit` stops the pool and is
+/// returned. A genuine panic inside `execute` is re-raised on the
+/// caller's thread at the cell's commit slot.
+pub(crate) fn run_ordered<W, X, C>(
+    workers: usize,
+    cells: &[CellId],
+    execute: X,
+    mut commit: C,
+) -> Result<PoolStats, String>
+where
+    W: Send,
+    X: Fn(CellId) -> W + Sync,
+    C: FnMut(usize, W) -> Result<(), String>,
+{
+    let total = cells.len();
+    if total == 0 {
+        return Ok(PoolStats::default());
+    }
+    let workers = workers.clamp(1, total);
+    let gate = Gate::new(total, workers * SPECULATION_PER_WORKER);
+    let stats = StatCounters::default();
+    let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<W>)>();
+
+    std::thread::scope(|scope| {
+        // Dropped on every exit path (Ok, Err, unwind), releasing any
+        // worker parked on the speculation window before scope join.
+        let _stop_on_exit = ShutdownGuard(&gate);
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let gate = &gate;
+            let stats = &stats;
+            let execute = &execute;
+            scope.spawn(move || {
+                while let Some(i) = gate.claim() {
+                    let outcome = worker_execute(cells[i], execute, stats);
+                    if tx.send((i, outcome)).is_err() {
+                        break; // commit loop is gone; stop quietly
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut buffer: BTreeMap<usize, std::thread::Result<W>> = BTreeMap::new();
+        for i in 0..total {
+            let outcome = loop {
+                if let Some(o) = buffer.remove(&i) {
+                    break o;
+                }
+                match rx.recv() {
+                    Ok((j, o)) => {
+                        buffer.insert(j, o);
+                    }
+                    Err(_) => {
+                        return Err(format!(
+                            "worker pool hung up with cell {i} of {total} undelivered"
+                        ))
+                    }
+                }
+            };
+            // Release the window before committing so workers overlap
+            // with journal IO.
+            gate.advance(i + 1);
+            match outcome {
+                Ok(work) => commit(i, work)?,
+                // A genuine bug: re-raise at the canonical commit
+                // boundary, exactly where the serial run would die,
+                // with the same journal prefix already durable.
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        Ok(stats.snapshot())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultProfile;
+    use crate::harness::{CellId, SweepConfig};
+    use crate::paper::TargetSystem;
+    use crate::prompt::PromptStyle;
+    use std::sync::atomic::AtomicUsize;
+
+    fn cells(n: u64, profile: FaultProfile) -> Vec<CellId> {
+        (0..n)
+            .map(|seed| CellId {
+                system: TargetSystem::RockPaperScissors,
+                style: PromptStyle::ModularText,
+                seed,
+                profile,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn commits_in_slice_order_for_every_worker_count() {
+        let cs = cells(23, FaultProfile::None);
+        for workers in [1, 2, 4, 8] {
+            let mut seen = Vec::new();
+            let stats = run_ordered(
+                workers,
+                &cs,
+                |cell| cell.seed * 10,
+                |i, w| {
+                    seen.push((i, w));
+                    Ok(())
+                },
+            )
+            .expect("pool runs");
+            let want: Vec<(usize, u64)> = (0..23).map(|i| (i, i as u64 * 10)).collect();
+            assert_eq!(seen, want, "workers={workers}");
+            assert_eq!(stats.executed, 23);
+        }
+    }
+
+    #[test]
+    fn chaos_profile_injects_and_absorbs_worker_faults() {
+        // Under chaos, worker crashes fire with p≈0.24 over 64 cells —
+        // the deterministic per-cell streams make the count exact.
+        let cs = cells(64, FaultProfile::Chaos);
+        let run = |workers| {
+            let mut order = Vec::new();
+            let stats = run_ordered(workers, &cs, |c| c.seed, |_, w| {
+                order.push(w);
+                Ok(())
+            })
+            .expect("pool runs");
+            (order, stats)
+        };
+        let (order_a, stats_a) = run(3);
+        let (order_b, stats_b) = run(7);
+        assert_eq!(order_a, (0..64).collect::<Vec<_>>());
+        assert_eq!(order_a, order_b, "commit order is worker-count independent");
+        assert!(stats_a.crashes_absorbed > 0, "{stats_a:?}");
+        assert!(stats_a.stalls_absorbed > 0, "{stats_a:?}");
+        // Fault rolls derive from per-cell seeds, so the absorbed
+        // counts are identical whatever the pool shape.
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(stats_a.executed, 64, "every cell completes exactly once");
+    }
+
+    #[test]
+    fn none_profile_never_touches_worker_faults() {
+        let cs = cells(16, FaultProfile::None);
+        let stats = run_ordered(4, &cs, |c| c.seed, |_, _| Ok(())).expect("pool runs");
+        assert_eq!(stats.crashes_absorbed, 0);
+        assert_eq!(stats.stalls_absorbed, 0);
+        assert_eq!(stats.executed, 16);
+    }
+
+    #[test]
+    fn commit_error_stops_the_pool() {
+        let cs = cells(40, FaultProfile::None);
+        let mut committed = 0u32;
+        let err = run_ordered(
+            4,
+            &cs,
+            |c| c.seed,
+            |i, _| {
+                if i == 5 {
+                    return Err("sink full".to_string());
+                }
+                committed += 1;
+                Ok(())
+            },
+        )
+        .expect_err("commit failure must surface");
+        assert_eq!(err, "sink full");
+        assert_eq!(committed, 5);
+    }
+
+    #[test]
+    fn real_panics_reraise_at_the_commit_slot() {
+        let cs = cells(12, FaultProfile::None);
+        let committed = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_ordered(
+                4,
+                &cs,
+                |c| {
+                    if c.seed == 7 {
+                        std::panic::panic_any("pool bug".to_string());
+                    }
+                    c.seed
+                },
+                |_, _| {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                },
+            )
+        }));
+        let payload = caught.expect_err("the bug must escape the pool");
+        assert_eq!(payload.downcast_ref::<String>().map(String::as_str), Some("pool bug"));
+        // Every cell before the panicking one commits; nothing after.
+        assert_eq!(committed.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn speculation_window_bounds_the_reorder_buffer() {
+        // With a deliberately slow commit the claim cursor must never
+        // run more than window cells past the frontier.
+        let cs = cells(64, FaultProfile::None);
+        let max_lead = AtomicUsize::new(0);
+        let committed = AtomicUsize::new(0);
+        let workers = 2;
+        run_ordered(
+            workers,
+            &cs,
+            |c| {
+                let lead = c.seed as usize - committed.load(Ordering::Relaxed).min(c.seed as usize);
+                max_lead.fetch_max(lead, Ordering::Relaxed);
+                c.seed
+            },
+            |i, _| {
+                committed.store(i + 1, Ordering::Relaxed);
+                std::thread::yield_now();
+                Ok(())
+            },
+        )
+        .expect("pool runs");
+        // A claimed cell can be at most window ahead when it starts.
+        assert!(
+            max_lead.load(Ordering::Relaxed) <= workers * SPECULATION_PER_WORKER,
+            "lead {} exceeded the speculation window",
+            max_lead.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn worker_fault_seed_is_stable() {
+        // The worker stream must not collide with the session/fault/
+        // harness streams of the same cell (distinct salts).
+        let cfg = SweepConfig::default();
+        let cell = cfg.expand()[0];
+        let w = derive_seed(cell, 0, SALT_WORKER);
+        for salt in [0x5e55_1011_0000_0001u64, 0xfa17_0a75_0000_0002, 0x4a52_4e53_0000_0003] {
+            assert_ne!(w, derive_seed(cell, 0, salt));
+        }
+    }
+}

@@ -20,15 +20,31 @@ fn arb_profile() -> impl Strategy<Value = FaultProfile> {
 }
 
 /// A small but varied sweep matrix (RPS sessions keep cases fast; the
-/// chaos profile exercises panic/wedge/retry/quarantine paths).
+/// chaos profile exercises panic/wedge/retry/quarantine paths). The
+/// occasional tight deadline makes whole classes quarantine, tripping
+/// breakers mid-matrix — the case where parallel speculation must be
+/// discarded at commit time.
 fn arb_config() -> impl Strategy<Value = SweepConfig> {
-    (arb_profile(), 0u64..50, 1usize..3).prop_map(|(profile, base_seed, n_seeds)| SweepConfig {
-        systems: vec![TargetSystem::RockPaperScissors, TargetSystem::ApVerifier],
-        styles: vec![PromptStyle::ModularText],
-        seeds: (base_seed..base_seed + n_seeds as u64).collect(),
-        profiles: vec![FaultProfile::None, profile],
-        limits: TaskLimits::default(),
-    })
+    (arb_profile(), 0u64..50, 1usize..3, prop_oneof![Just(false), Just(true)]).prop_map(
+        |(profile, base_seed, n_seeds, tight)| {
+            let mut limits = TaskLimits::default();
+            if tight {
+                limits.deadline_steps = 5;
+                limits.breaker_threshold = 2;
+            }
+            SweepConfig {
+                systems: vec![TargetSystem::RockPaperScissors, TargetSystem::ApVerifier],
+                styles: vec![PromptStyle::ModularText],
+                seeds: (base_seed..base_seed + n_seeds as u64).collect(),
+                profiles: vec![FaultProfile::None, profile],
+                limits,
+            }
+        },
+    )
+}
+
+fn arb_workers() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(4), Just(8)]
 }
 
 proptest! {
@@ -62,6 +78,54 @@ proptest! {
         prop_assert_eq!(resumed.render_json(), full.render_json());
         prop_assert_eq!(sink.text(), full_text.as_str());
         prop_assert!(resumed.coverage.consistent());
+    }
+
+    /// A parallel sweep commits cells in canonical order, so for any
+    /// worker count the journal and the report are byte-identical to
+    /// the serial run — across random matrices, fault profiles and the
+    /// injected panic/wedge/deadline paths the chaos profile drives.
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial(
+        config in arb_config(),
+        workers in arb_workers(),
+    ) {
+        let mut serial_sink = MemoryJournal::new();
+        let serial = Sweep::new(config.clone()).run(&mut serial_sink).unwrap();
+        let mut sink = MemoryJournal::new();
+        let parallel =
+            Sweep::new(config).with_workers(workers).run(&mut sink).unwrap();
+        prop_assert_eq!(parallel.render_json(), serial.render_json());
+        prop_assert_eq!(sink.text(), serial_sink.text());
+    }
+
+    /// Crash-at-any-byte-offset resume under parallelism: kill a serial
+    /// run anywhere in its journal, resume with `workers` workers, and
+    /// the rebuilt journal and report still match the uninterrupted
+    /// serial run byte-for-byte.
+    #[test]
+    fn parallel_crash_resume_is_byte_identical(
+        config in arb_config(),
+        cut_frac in 0.0f64..1.0,
+        workers in arb_workers(),
+    ) {
+        let serial = Sweep::new(config.clone());
+        let mut full_sink = MemoryJournal::new();
+        let full = serial.run(&mut full_sink).unwrap();
+        let full_text = full_sink.text().to_string();
+
+        let mut cut = (full_text.len() as f64 * cut_frac) as usize;
+        while cut < full_text.len() && !full_text.is_char_boundary(cut) {
+            cut += 1;
+        }
+        let survived = &full_text[..cut];
+
+        let replay = parse_journal(survived, &config).unwrap();
+        let mut sink = MemoryJournal::with_text(&survived[..replay.valid_bytes as usize]);
+        let resumed =
+            Sweep::new(config).with_workers(workers).run_from(&replay, &mut sink).unwrap();
+
+        prop_assert_eq!(resumed.render_json(), full.render_json());
+        prop_assert_eq!(sink.text(), full_text.as_str());
     }
 
     /// Coverage accounting always sums to the full matrix, whatever the
