@@ -54,6 +54,7 @@ impl Default for LintConfig {
     fn default() -> Self {
         LintConfig {
             wallclock_files: vec![
+                "crates/core/src/cache.rs".into(),
                 "crates/core/src/fault.rs".into(),
                 "crates/core/src/harness.rs".into(),
                 "crates/core/src/pool.rs".into(),
@@ -63,6 +64,7 @@ impl Default for LintConfig {
                 "crates/bdd/src/".into(),
             ],
             hashiter_files: vec![
+                "crates/core/src/cache.rs".into(),
                 "crates/core/src/fault.rs".into(),
                 "crates/core/src/harness.rs".into(),
                 "crates/core/src/pool.rs".into(),

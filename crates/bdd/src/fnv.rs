@@ -1,0 +1,78 @@
+//! A deterministic FNV-1a hasher for the manager's internal tables.
+//!
+//! The unique table and the memo caches are keyed by node indices we
+//! mint ourselves, so SipHash's DoS resistance buys nothing here — but
+//! its per-lookup cost is very visible, because `apply` does one or two
+//! map probes per recursive call. FNV-1a over a handful of bytes is
+//! several times cheaper and, unlike `RandomState`, has no per-process
+//! seed: a manager performs byte-identical work on every run, which
+//! keeps the engine inside the workspace's determinism envelope.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a state.
+pub(crate) struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Zero-sized, seedless [`BuildHasher`]: every map built with it hashes
+/// identically in every process.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FnvBuildHasher;
+
+impl BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+/// A `HashMap` with the deterministic FNV hasher.
+pub(crate) type FnvMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// An empty [`FnvMap`] pre-sized for `cap` entries.
+pub(crate) fn map_with_capacity<K, V>(cap: usize) -> FnvMap<K, V> {
+    HashMap::with_capacity_and_hasher(cap, FnvBuildHasher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_stable_and_distinct() {
+        let build = FnvBuildHasher;
+        let one = build.hash_one((0u32, 1u32, 2u32));
+        let again = build.hash_one((0u32, 1u32, 2u32));
+        let other = build.hash_one((0u32, 2u32, 1u32));
+        assert_eq!(one, again);
+        assert_ne!(one, other);
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FnvMap<u32, u32> = map_with_capacity(16);
+        assert!(m.capacity() >= 16);
+        m.insert(7, 42);
+        assert_eq!(m.get(&7), Some(&42));
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod builder;
 pub mod dot;
+mod fnv;
 pub mod manager;
 pub mod quant;
 pub mod node;

@@ -1,7 +1,14 @@
 //! The BDD manager: boolean operations over hash-consed nodes.
 
+use crate::fnv::{map_with_capacity, FnvMap};
 use crate::node::{NodeTable, Ref, FALSE, TRUE};
-use std::collections::HashMap;
+
+/// Initial memo-cache sizing (entries). Sized so a typical header-space
+/// verification run never rehashes the op cache.
+const OP_CACHE_CAPACITY: usize = 1 << 12;
+/// Initial sizing of the per-call scratch memos (the `Uncached`
+/// profile's within-call tables).
+const SCRATCH_CAPACITY: usize = 1 << 8;
 
 /// How aggressively the engine memoises operation results.
 ///
@@ -51,8 +58,15 @@ pub struct BddManager {
     table: NodeTable,
     num_vars: u32,
     profile: EngineProfile,
-    op_cache: HashMap<(Op, u32, u32), u32>,
-    not_cache: HashMap<u32, u32>,
+    op_cache: FnvMap<(Op, u32, u32), u32>,
+    not_cache: FnvMap<u32, u32>,
+    /// Reusable within-call memo for `not`. Cleared before every call,
+    /// so the `Uncached` profile's semantics (memoisation only inside a
+    /// single operation) are unchanged — only the per-call allocation
+    /// is gone.
+    not_scratch: FnvMap<u32, u32>,
+    /// Reusable within-call memo for the binary `apply`.
+    apply_scratch: FnvMap<(u32, u32), u32>,
     stats: ManagerStats,
     node_cap: Option<usize>,
 }
@@ -65,8 +79,10 @@ impl BddManager {
             table: NodeTable::new(),
             num_vars,
             profile,
-            op_cache: HashMap::new(),
-            not_cache: HashMap::new(),
+            op_cache: map_with_capacity(OP_CACHE_CAPACITY),
+            not_cache: map_with_capacity(OP_CACHE_CAPACITY / 4),
+            not_scratch: map_with_capacity(SCRATCH_CAPACITY),
+            apply_scratch: map_with_capacity(SCRATCH_CAPACITY),
             stats: ManagerStats::default(),
             node_cap: None,
         }
@@ -179,6 +195,8 @@ impl BddManager {
         let reclaimed = self.table.gc();
         self.op_cache.clear();
         self.not_cache.clear();
+        self.not_scratch.clear();
+        self.apply_scratch.clear();
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += reclaimed as u64;
         reclaimed
@@ -238,11 +256,16 @@ impl BddManager {
 
     /// Negation `¬a`.
     pub fn not(&mut self, a: Ref) -> Ref {
-        let mut local = HashMap::new();
+        // Take the scratch memo out of `self` for the duration of the
+        // recursion (borrowck) and put it back after: the map's
+        // allocation survives across calls instead of being rebuilt
+        // per negation. Under `Uncached` it is the *only* memo used,
+        // and clearing it up front preserves the within-call-only
+        // memoisation the profile models.
+        let mut local = std::mem::take(&mut self.not_scratch);
+        local.clear();
         let r = self.not_rec(a.0, &mut local);
-        if self.profile == EngineProfile::Uncached {
-            self.not_cache.clear();
-        }
+        self.not_scratch = local;
         Ref(r)
     }
 
@@ -284,7 +307,7 @@ impl BddManager {
         }
     }
 
-    fn not_rec(&mut self, a: u32, local: &mut HashMap<u32, u32>) -> u32 {
+    fn not_rec(&mut self, a: u32, local: &mut FnvMap<u32, u32>) -> u32 {
         match a {
             0 => return 1,
             1 => return 0,
@@ -306,6 +329,11 @@ impl BddManager {
         match self.profile {
             EngineProfile::Cached => {
                 self.not_cache.insert(a, r);
+                // Negation is an involution on ROBDDs, so the reverse
+                // mapping is equally valid — the ITE-style short
+                // circuit that makes ¬¬f (ubiquitous in diff/implies
+                // chains) a hit instead of a second full traversal.
+                self.not_cache.insert(r, a);
             }
             EngineProfile::Uncached => {
                 local.insert(a, r);
@@ -315,8 +343,12 @@ impl BddManager {
     }
 
     fn binop(&mut self, op: Op, a: Ref, b: Ref) -> Ref {
-        let mut local = HashMap::new();
+        // Same scratch-reuse pattern as `not`: allocation persists,
+        // memoisation stays within this single call.
+        let mut local = std::mem::take(&mut self.apply_scratch);
+        local.clear();
         let r = self.apply(op, a.0, b.0, &mut local);
+        self.apply_scratch = local;
         Ref(r)
     }
 
@@ -367,7 +399,7 @@ impl BddManager {
         }
     }
 
-    fn apply(&mut self, op: Op, a: u32, b: u32, local: &mut HashMap<(u32, u32), u32>) -> u32 {
+    fn apply(&mut self, op: Op, a: u32, b: u32, local: &mut FnvMap<(u32, u32), u32>) -> u32 {
         if let Some(t) = Self::terminal_case(op, a, b) {
             return t;
         }
@@ -573,6 +605,43 @@ mod tests {
         assert!(
             m.stats().apply_misses > misses_before,
             "uncached profile must redo work"
+        );
+    }
+
+    #[test]
+    fn double_negation_is_a_cache_hit_under_cached() {
+        let mut m = BddManager::new(8, EngineProfile::Cached);
+        let mut f = TRUE;
+        for i in 0..8 {
+            let v = m.var(i);
+            f = m.and(f, v);
+        }
+        let nf = m.not(f);
+        let misses_before = m.stats().apply_misses;
+        let nnf = m.not(nf);
+        assert_eq!(nnf, f, "¬¬f must be f");
+        assert_eq!(
+            m.stats().apply_misses,
+            misses_before,
+            "the involution entry answers ¬¬f without a second traversal"
+        );
+    }
+
+    #[test]
+    fn uncached_not_redoes_work_despite_scratch_reuse() {
+        let mut m = BddManager::new(8, EngineProfile::Uncached);
+        let mut f = TRUE;
+        for i in 0..8 {
+            let v = m.var(i);
+            f = m.and(f, v);
+        }
+        let n1 = m.not(f);
+        let misses_before = m.stats().apply_misses;
+        let n2 = m.not(f);
+        assert_eq!(n1, n2, "profiles must agree on results");
+        assert!(
+            m.stats().apply_misses > misses_before,
+            "the reused scratch buffer must not leak memo entries across calls"
         );
     }
 

@@ -5,7 +5,7 @@
 //! flat arena indexed by [`Ref`], terminals occupy slots 0 and 1, and a
 //! unique table guarantees that structurally equal nodes are shared.
 
-use std::collections::HashMap;
+use crate::fnv::{map_with_capacity, FnvMap};
 
 /// A handle to a BDD node. `Ref`s are only meaningful relative to the
 /// [`crate::BddManager`] that produced them.
@@ -44,11 +44,16 @@ pub(crate) struct Node {
     pub alive: bool,
 }
 
+/// Initial arena/unique-table sizing. The verification workloads mint
+/// a few thousand nodes per header set; pre-sizing skips the rehash
+/// cascade that dominated `Manager::new`-heavy profiles.
+pub(crate) const INITIAL_NODES: usize = 1 << 12;
+
 /// The node arena plus the unique (hash-consing) table.
 #[derive(Debug)]
 pub(crate) struct NodeTable {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32>,
+    unique: FnvMap<(u32, u32, u32), u32>,
     free: Vec<u32>,
 }
 
@@ -61,9 +66,12 @@ impl NodeTable {
             refs: 1, // terminals are permanently alive
             alive: true,
         };
+        let mut nodes = Vec::with_capacity(INITIAL_NODES + 2);
+        nodes.push(terminal(0));
+        nodes.push(terminal(1));
         NodeTable {
-            nodes: vec![terminal(0), terminal(1)],
-            unique: HashMap::new(),
+            nodes,
+            unique: map_with_capacity(INITIAL_NODES),
             free: Vec::new(),
         }
     }

@@ -3,6 +3,7 @@
 use crate::args::{ArgError, Args};
 use analysis::Severity;
 use netrepro_bdd::EngineProfile;
+use netrepro_core::cache::CellMemo;
 use netrepro_core::diagnosis::{diagnose_dpv, diagnose_resilience, diagnose_te, RootCause};
 use netrepro_core::fault::{FaultOutcome, FaultProfile};
 use netrepro_core::framework::AutoEngineer;
@@ -45,6 +46,8 @@ commands:
   sweep     [--systems CSV] [--styles CSV] [--seeds N] [--profiles CSV]
             [--journal PATH] [--resume PATH] [--deadline N] [--attempts N] [--breaker N]
             [--workers N] [--json] [--out FILE] [--halt-after K] [--throttle-ms MS]
+            [--no-cache]
+  bench     [--quick] [--json] [--out FILE] [--check BASELINE.json]
   rps       serve [--addr H:P] | play [--addr H:P] [--moves RPSR...]
 ";
 
@@ -640,12 +643,19 @@ pub fn sweep(a: &Args) -> CmdResult {
     if workers == 0 {
         return Err(ArgError("--workers must be at least 1".into()));
     }
-    let runtime = Sweep::new(config.clone())
+    let mut runtime = Sweep::new(config.clone())
         .with_workers(workers)
         .with_gate(Box::new(|spec, arts| {
             let (report, _) = analysis::gate::gate_artifacts(spec, arts);
             analysis::gate::static_gate(&report)
         }));
+    // Memoization is on by default: execute_cell is a pure function of
+    // the cell id, so the memo cannot change a single journal or report
+    // byte (property-tested) — `--no-cache` exists for A/B timing, not
+    // correctness.
+    if !a.has("no-cache") {
+        runtime = runtime.with_cache(CellMemo::shared());
+    }
     let halt_after =
         if a.has("halt-after") { Some(a.require::<u64>("halt-after")?) } else { None };
     let throttle_ms: u64 = a.get_or("throttle-ms", 0)?;
@@ -699,6 +709,335 @@ pub fn sweep(a: &Args) -> CmdResult {
     } else {
         print!("{}", report.summary());
         print_sweep_table(&report);
+    }
+    Ok(())
+}
+
+/// One worker-count row of the bench sweep table.
+#[derive(serde::Serialize)]
+struct BenchRun {
+    workers: u64,
+    cold_secs: f64,
+    warm_secs: f64,
+    cold_cells_per_sec: f64,
+    warm_cells_per_sec: f64,
+    warm_cold_speedup: f64,
+    /// Work-memo hit rate during the warm pass — deterministic (a count
+    /// ratio, not a timing), so the regression gate can hold it tight.
+    warm_work_hit_rate: f64,
+}
+
+/// One matrix's worth of bench rows.
+#[derive(serde::Serialize)]
+struct BenchSection {
+    matrix_cells: u64,
+    runs: Vec<BenchRun>,
+}
+
+/// LP kernel micro-benchmark.
+#[derive(serde::Serialize)]
+struct LpBench {
+    cold_solves_per_sec: f64,
+    cached_solves_per_sec: f64,
+    /// Deterministic: (N-1)/N for N same-fingerprint solves.
+    hit_rate: f64,
+}
+
+/// BDD kernel micro-benchmark.
+#[derive(serde::Serialize)]
+struct BddBench {
+    applies_per_sec: f64,
+}
+
+/// The full `netrepro bench` output (`BENCH_5.json`).
+#[derive(serde::Serialize)]
+struct BenchReport {
+    id: String,
+    caption: String,
+    cache_scheme: String,
+    sections: std::collections::BTreeMap<String, BenchSection>,
+    lp: LpBench,
+    bdd: BddBench,
+}
+
+/// The full experiment matrix the paper's validation loop sweeps:
+/// 4 systems × 3 styles × 28 seeds × 4 profiles = 1344 cells.
+fn bench_full_config() -> SweepConfig {
+    SweepConfig {
+        systems: vec![
+            TargetSystem::NcFlow,
+            TargetSystem::Arrow,
+            TargetSystem::ApKeep,
+            TargetSystem::ApVerifier,
+        ],
+        styles: vec![
+            PromptStyle::Monolithic,
+            PromptStyle::ModularText,
+            PromptStyle::ModularPseudocode,
+        ],
+        seeds: (0..28).collect(),
+        profiles: vec![
+            FaultProfile::None,
+            FaultProfile::Light,
+            FaultProfile::Heavy,
+            FaultProfile::Chaos,
+        ],
+        limits: TaskLimits::default(),
+    }
+}
+
+/// A 112-cell matrix for CI: small enough to run on every push, varied
+/// enough (two systems, two profiles) to exercise the same paths, and
+/// large enough that its timings are not pure thread-spawn noise.
+fn bench_quick_config() -> SweepConfig {
+    SweepConfig {
+        systems: vec![TargetSystem::RockPaperScissors, TargetSystem::ApVerifier],
+        styles: vec![PromptStyle::ModularText],
+        seeds: (0..28).collect(),
+        profiles: vec![FaultProfile::None, FaultProfile::Heavy],
+        limits: TaskLimits::default(),
+    }
+}
+
+/// Cold-then-warm timing of one matrix at one worker count, sharing one
+/// memo between the two passes.
+fn bench_sweep(config: &SweepConfig, workers: usize) -> Result<BenchRun, ArgError> {
+    let gate = || -> harness::GateFn {
+        Box::new(|spec, arts| {
+            let (report, _) = analysis::gate::gate_artifacts(spec, arts);
+            analysis::gate::static_gate(&report)
+        })
+    };
+    let memo = CellMemo::shared();
+    let cells = config.total_cells() as f64;
+
+    let sweep = Sweep::new(config.clone())
+        .with_workers(workers)
+        .with_gate(gate())
+        .with_cache(std::sync::Arc::clone(&memo));
+    let t0 = std::time::Instant::now();
+    sweep.run(&mut harness::MemoryJournal::new()).map_err(ArgError)?;
+    let cold_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let after_cold = memo.work_stats();
+
+    // The warm pass is tiny (microseconds per cell), so a single
+    // timing is mostly scheduler noise — take the best of three.
+    let mut warm_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let sweep = Sweep::new(config.clone())
+            .with_workers(workers)
+            .with_gate(gate())
+            .with_cache(std::sync::Arc::clone(&memo));
+        let t0 = std::time::Instant::now();
+        sweep.run(&mut harness::MemoryJournal::new()).map_err(ArgError)?;
+        warm_secs = warm_secs.min(t0.elapsed().as_secs_f64().max(1e-9));
+    }
+    let after_warm = memo.work_stats();
+
+    let hits = after_warm.hits - after_cold.hits;
+    let lookups = hits + (after_warm.misses - after_cold.misses);
+    Ok(BenchRun {
+        workers: workers as u64,
+        cold_secs,
+        warm_secs,
+        cold_cells_per_sec: cells / cold_secs,
+        warm_cells_per_sec: cells / warm_secs,
+        warm_cold_speedup: cold_secs / warm_secs,
+        warm_work_hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+    })
+}
+
+/// A small LP whose solve cost is representative of the per-commodity
+/// subproblems NCFlow's R2 phase issues.
+fn bench_lp_problem() -> netrepro_lp::Problem {
+    use netrepro_lp::{Problem, Sense};
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> =
+        (0..8).map(|i| p.add_var(&format!("x{i}"), 0.0, 10.0, 1.0 + 0.25 * i as f64)).collect();
+    for w in vars.windows(2) {
+        p.add_le(&[(w[0], 1.0), (w[1], 2.0)], 12.0);
+    }
+    let all: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+    p.add_le(&all, 40.0);
+    p
+}
+
+fn bench_lp() -> Result<LpBench, ArgError> {
+    use netrepro_lp::fallback::FallbackSolver;
+    const N: u32 = 500;
+    let problem = bench_lp_problem();
+
+    let solver = RevisedSimplex::default();
+    let t0 = std::time::Instant::now();
+    for _ in 0..N {
+        solver.solve(&problem).map_err(|e| ArgError(format!("lp bench: {e}")))?;
+    }
+    let cold = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let cached =
+        FallbackSolver::new(RevisedSimplex::default(), DenseSimplex::default()).with_cache();
+    let t0 = std::time::Instant::now();
+    for _ in 0..N {
+        cached.solve(&problem).map_err(|e| ArgError(format!("lp bench: {e}")))?;
+    }
+    let warm = t0.elapsed().as_secs_f64().max(1e-9);
+    let (hits, misses) = cached.cache_stats().unwrap_or((0, 0));
+    Ok(LpBench {
+        cold_solves_per_sec: f64::from(N) / cold,
+        cached_solves_per_sec: f64::from(N) / warm,
+        hit_rate: if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 },
+    })
+}
+
+fn bench_bdd() -> BddBench {
+    use netrepro_bdd::BddManager;
+    const VARS: u32 = 24;
+    const ROUNDS: u32 = 200;
+    let mut m = BddManager::new(VARS, EngineProfile::Cached);
+    let t0 = std::time::Instant::now();
+    let mut ops = 0u64;
+    for round in 0..ROUNDS {
+        let mut acc = m.var(round % VARS);
+        for v in 0..VARS {
+            let x = m.var(v);
+            acc = if v % 2 == 0 { m.and(acc, x) } else { m.or(acc, x) };
+            let n = m.not(acc);
+            acc = m.or(acc, n);
+            ops += 3;
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    BddBench { applies_per_sec: ops as f64 / secs }
+}
+
+/// Relative closeness for the regression gate's ratio metrics.
+fn within_tolerance(current: f64, baseline: f64, tol: f64) -> bool {
+    if baseline.abs() < 1e-12 {
+        return current.abs() < 1e-12;
+    }
+    ((current - baseline) / baseline).abs() <= tol
+}
+
+/// Compare this run's *ratio* metrics against a committed baseline.
+/// Hit rates are count ratios — deterministic per matrix — so ±20% is
+/// generous; raw throughput and speedups are machine-dependent and
+/// only gated by the speedup floor, not against the baseline.
+fn bench_check(current: &BenchReport, baseline: &serde_json::Value) -> Result<(), ArgError> {
+    const TOL: f64 = 0.20;
+    const SPEEDUP_FLOOR: f64 = 1.5;
+    let mut failures: Vec<String> = Vec::new();
+
+    for (name, section) in &current.sections {
+        let base_runs = &baseline["sections"][name.as_str()]["runs"];
+        for run in &section.runs {
+            let base = base_runs
+                .as_array()
+                .and_then(|rs| rs.iter().find(|r| r["workers"].as_u64() == Some(run.workers)));
+            let Some(base) = base else { continue };
+            let base_hit = base["warm_work_hit_rate"].as_f64().unwrap_or(0.0);
+            if !within_tolerance(run.warm_work_hit_rate, base_hit, TOL) {
+                failures.push(format!(
+                    "{name} workers={}: warm_work_hit_rate {:.3} vs baseline {base_hit:.3}",
+                    run.workers, run.warm_work_hit_rate
+                ));
+            }
+            if run.warm_cold_speedup < SPEEDUP_FLOOR {
+                failures.push(format!(
+                    "{name} workers={}: warm/cold speedup {:.2}x below the {SPEEDUP_FLOOR}x floor",
+                    run.workers, run.warm_cold_speedup
+                ));
+            }
+        }
+    }
+    let base_lp_hit = baseline["lp"]["hit_rate"].as_f64().unwrap_or(0.0);
+    if !within_tolerance(current.lp.hit_rate, base_lp_hit, TOL) {
+        failures.push(format!(
+            "lp: cache hit rate {:.3} vs baseline {base_lp_hit:.3}",
+            current.lp.hit_rate
+        ));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(ArgError(format!("bench regression gate failed:\n  {}", failures.join("\n  "))))
+    }
+}
+
+/// `netrepro bench` — throughput of the memoized sweep runtime plus
+/// LP/BDD kernel micro-benchmarks. `--quick` restricts to the 32-cell
+/// CI matrix; `--check BASELINE.json` applies the regression gate
+/// (±20% on deterministic ratio metrics, 1.5x warm/cold speedup floor).
+pub fn bench(a: &Args) -> CmdResult {
+    let quick = a.has("quick");
+    let mut sections = std::collections::BTreeMap::new();
+
+    let quick_cfg = bench_quick_config();
+    let mut runs = Vec::new();
+    for workers in [1usize, 4] {
+        runs.push(bench_sweep(&quick_cfg, workers)?);
+    }
+    sections.insert(
+        "quick".to_string(),
+        BenchSection { matrix_cells: quick_cfg.total_cells() as u64, runs },
+    );
+
+    if !quick {
+        let full_cfg = bench_full_config();
+        let mut runs = Vec::new();
+        for workers in [1usize, 4] {
+            runs.push(bench_sweep(&full_cfg, workers)?);
+        }
+        sections.insert(
+            "full".to_string(),
+            BenchSection { matrix_cells: full_cfg.total_cells() as u64, runs },
+        );
+    }
+
+    let report = BenchReport {
+        id: "bench_5".to_string(),
+        caption: "cold vs warm sweep throughput and solver-kernel micro-benchmarks".to_string(),
+        cache_scheme: netrepro_core::cache::SCHEME.to_string(),
+        sections,
+        lp: bench_lp()?,
+        bdd: bench_bdd(),
+    };
+
+    let rendered = serde_json::to_string_pretty(&report)
+        .map_err(|e| ArgError(format!("render bench report: {e}")))?;
+    if let Some(out) = a.get("out") {
+        std::fs::write(out, &rendered).map_err(|e| ArgError(format!("{out}: {e}")))?;
+    }
+    if a.has("json") {
+        println!("{rendered}");
+    } else {
+        for (name, s) in &report.sections {
+            println!("{name} matrix ({} cells):", s.matrix_cells);
+            for r in &s.runs {
+                println!(
+                    "  workers {}: cold {:>8.1} cells/s, warm {:>10.1} cells/s \
+                     ({:.1}x, warm hit rate {:.3})",
+                    r.workers,
+                    r.cold_cells_per_sec,
+                    r.warm_cells_per_sec,
+                    r.warm_cold_speedup,
+                    r.warm_work_hit_rate
+                );
+            }
+        }
+        println!(
+            "lp: {:.0} solves/s cold, {:.0} solves/s cached (hit rate {:.3})",
+            report.lp.cold_solves_per_sec, report.lp.cached_solves_per_sec, report.lp.hit_rate
+        );
+        println!("bdd: {:.0} applies/s", report.bdd.applies_per_sec);
+    }
+
+    if let Some(path) = a.get("check") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read baseline {path}: {e}")))?;
+        let baseline: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| ArgError(format!("{path}: bad JSON: {e}")))?;
+        bench_check(&report, &baseline)?;
+        println!("bench regression gate passed against {path}");
     }
     Ok(())
 }

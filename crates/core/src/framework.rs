@@ -157,7 +157,7 @@ impl AutoEngineer {
             let participant = Participant {
                 name: format!("auto-{}", i + 1),
                 system,
-                strategy: strategy.clone(),
+                strategy,
             };
             let checkpoint = faults.checkpoint();
             let report = ReproductionSession::new(participant, seed.wrapping_add(i as u64))

@@ -50,7 +50,8 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Journal format version; bumped on any incompatible layout change.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Version 2 added the `cache` scheme identifier to the header.
+pub const JOURNAL_VERSION: u32 = 2;
 
 // Distinct salts keep the three per-cell RNG streams (session, session
 // faults, harness faults) independent even though they hash the same
@@ -381,6 +382,12 @@ pub struct JournalHeader {
     pub fingerprint: String,
     /// Matrix size, for early mismatch detection.
     pub total_cells: u64,
+    /// Memoization scheme the sweep ran under
+    /// ([`crate::cache::SCHEME`]). Deliberately independent of whether
+    /// a memo was attached or warm — cache on/off journals must stay
+    /// byte-identical — but an incompatible key-derivation change bumps
+    /// the scheme string and rejects stale journals at resume.
+    pub cache: String,
 }
 
 /// One journaled cell line.
@@ -562,6 +569,13 @@ pub fn parse_journal(text: &str, config: &SweepConfig) -> Result<Replay, Journal
             "{} cells (this sweep has {})",
             header.total_cells,
             cells.len()
+        )));
+    }
+    if header.cache != crate::cache::SCHEME {
+        return Err(JournalError::Mismatch(format!(
+            "cache scheme {} (this build uses {})",
+            header.cache,
+            crate::cache::SCHEME
         )));
     }
 
@@ -759,6 +773,7 @@ pub struct Sweep {
     config: SweepConfig,
     gate: Option<GateFn>,
     workers: usize,
+    memo: Option<std::sync::Arc<crate::cache::CellMemo>>,
 }
 
 impl std::fmt::Debug for Sweep {
@@ -767,6 +782,7 @@ impl std::fmt::Debug for Sweep {
             .field("config", &self.config)
             .field("gate", &self.gate.is_some())
             .field("workers", &self.workers)
+            .field("memo", &self.memo.is_some())
             .finish()
     }
 }
@@ -774,7 +790,7 @@ impl std::fmt::Debug for Sweep {
 impl Sweep {
     /// A sweep over `config`, with no auditor gate, executing serially.
     pub fn new(config: SweepConfig) -> Self {
-        Sweep { config, gate: None, workers: 1 }
+        Sweep { config, gate: None, workers: 1, memo: None }
     }
 
     /// Wire in the static auditor gate; a rejecting gate fails the
@@ -790,6 +806,15 @@ impl Sweep {
     /// count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Attach a memoization store ([`crate::cache::CellMemo`]).
+    /// [`Sweep::execute_cell`] is a pure function of the cell id, so a
+    /// memo — cold, warm, or shared with other sweeps — cannot change
+    /// any journal or report byte; it only skips redundant work.
+    pub fn with_cache(mut self, memo: std::sync::Arc<crate::cache::CellMemo>) -> Self {
+        self.memo = Some(memo);
         self
     }
 
@@ -844,10 +869,16 @@ impl Sweep {
                 version: JOURNAL_VERSION,
                 fingerprint: self.config.fingerprint(),
                 total_cells: cells.len() as u64,
+                cache: crate::cache::SCHEME.to_string(),
             };
             sink.append(&json_line(&header)?)?;
         }
-        let mut records = replay.records.clone();
+        // Pre-size for the whole matrix: this buffer grows to one
+        // record per cell, and the parallel path pushes from the
+        // commit callback, where a reallocation pause would stall the
+        // reorder pipeline.
+        let mut records = Vec::with_capacity(cells.len());
+        records.extend_from_slice(&replay.records);
         let mut clock = records.last().map_or(0, |r| r.clock_end);
         let mut breaker: BTreeMap<String, u32> = BTreeMap::new();
         for r in &records {
@@ -864,8 +895,9 @@ impl Sweep {
                 |offset, work| {
                     let i = start + offset;
                     let record = self.commit_cell(cells[i], Some(work), &mut clock, &mut breaker);
-                    sink.append(&json_line(&CellLine { index: i as u64, record: record.clone() })?)?;
-                    records.push(record);
+                    let line = CellLine { index: i as u64, record };
+                    sink.append(&json_line(&line)?)?;
+                    records.push(line.record);
                     Ok(())
                 },
             )?;
@@ -882,8 +914,9 @@ impl Sweep {
                     Some(self.execute_cell(cell))
                 };
                 let record = self.commit_cell(cell, work, &mut clock, &mut breaker);
-                sink.append(&json_line(&CellLine { index: i as u64, record: record.clone() })?)?;
-                records.push(record);
+                let line = CellLine { index: i as u64, record };
+                sink.append(&json_line(&line)?)?;
+                records.push(line.record);
             }
         }
         Ok(self.assemble(records, clock))
@@ -947,8 +980,25 @@ impl Sweep {
     /// Execute one cell to completion or retry exhaustion. Pure
     /// function of the cell id (all RNG streams derive from the cell
     /// key), deliberately ignorant of the clock and the breaker — those
-    /// belong to [`Sweep::commit_cell`].
+    /// belong to [`Sweep::commit_cell`]. That purity is also what makes
+    /// memoizing the whole result sound: a warm [`crate::cache::CellMemo`]
+    /// hit replays the identical [`CellWork`] without re-running the
+    /// session.
     pub(crate) fn execute_cell(&self, cell: CellId) -> CellWork {
+        if let Some(memo) = &self.memo {
+            if let Some(work) = memo.lookup_work(cell) {
+                return work;
+            }
+        }
+        let work = self.execute_cell_uncached(cell);
+        if let Some(memo) = &self.memo {
+            memo.store_work(cell, &work);
+        }
+        work
+    }
+
+    /// The un-memoized cell execution.
+    fn execute_cell_uncached(&self, cell: CellId) -> CellWork {
         let limits = self.config.limits;
         let mut harness_faults =
             FaultPlan::new(cell.profile, derive_seed(cell, 0, SALT_HARNESS)).injector();
@@ -1017,8 +1067,15 @@ impl Sweep {
             }
             let mut injector =
                 FaultPlan::new(cell.profile, derive_seed(cell, attempt, SALT_FAULTS)).injector();
+            // The participant preset is oracle-side and seed-independent:
+            // every cell of the (system, style) class shares one, so a
+            // memo hit skips rebuilding it per attempt.
+            let participant = match &self.memo {
+                Some(memo) => memo.participant(cell),
+                None => cell.participant(),
+            };
             let report = ReproductionSession::new(
-                cell.participant(),
+                participant,
                 derive_seed(cell, attempt, SALT_SESSION),
             )
             .run_with_faults(&mut injector);
@@ -1044,8 +1101,16 @@ impl Sweep {
                 }
                 let (gate_errors, gate_warnings) = match &self.gate {
                     Some(gate) => {
-                        let spec = PaperSpec::for_system(cell.system);
-                        let g = gate(&spec, &report.component_artifacts);
+                        // The spec is shared per system when a memo is
+                        // attached instead of being rebuilt per attempt.
+                        let g = match &self.memo {
+                            Some(memo) => {
+                                gate(&memo.spec(cell.system), &report.component_artifacts)
+                            }
+                            None => {
+                                gate(&PaperSpec::for_system(cell.system), &report.component_artifacts)
+                            }
+                        };
                         if g.rejects() {
                             return (AttemptVerdict::GateRejected, steps, None);
                         }
@@ -1053,12 +1118,14 @@ impl Sweep {
                     }
                     None => (0, 0),
                 };
+                let words = report.total_words();
+                let loc = u64::from(report.artifact.loc);
                 let result = CellResult {
-                    participant: report.participant.clone(),
+                    participant: report.participant,
                     prompts: steps,
-                    words: report.total_words(),
-                    loc: u64::from(report.artifact.loc),
-                    residual_defects: report.residual_defects.clone(),
+                    words,
+                    loc,
+                    residual_defects: report.residual_defects,
                     gate_errors,
                     gate_warnings,
                 };
@@ -1575,6 +1642,7 @@ mod tests {
             version: JOURNAL_VERSION,
             fingerprint: "00deadbeef00cafe".to_string(),
             total_cells: 48,
+            cache: crate::cache::SCHEME.to_string(),
         };
         let line = json_line(&h).unwrap();
         assert!(line.ends_with('\n'));

@@ -43,12 +43,16 @@
 //!   full experiment matrix;
 //! * [`pool`] — the bounded worker pool + reorder buffer that lets the
 //!   sweep execute cells out of order while committing them in
-//!   canonical order.
+//!   canonical order;
+//! * [`cache`] — the deterministic memoization layer ([`cache::CellMemo`])
+//!   the sweep consults for oracle-side artifacts and warm cell replays;
+//!   observationally invisible by construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod cache;
 pub mod diagnosis;
 pub mod fault;
 pub mod framework;

@@ -41,7 +41,7 @@ impl PromptStyle {
 }
 
 /// What a single prompt asks for.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PromptKind {
     /// Implement a component (by index into the paper spec).
     Implement {
@@ -68,7 +68,7 @@ pub enum PromptKind {
 }
 
 /// A prompt sent during a session.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Prompt {
     /// Style under which it was phrased.
     pub style: PromptStyle,

@@ -83,7 +83,7 @@ impl ReproductionSession {
     ///   type error.
     pub fn run_with_faults(mut self, faults: &mut FaultInjector) -> SessionReport {
         let spec = PaperSpec::for_system(self.participant.system);
-        let strategy = self.participant.strategy.clone();
+        let strategy = self.participant.strategy;
         let mut prompts: Vec<Prompt> = Vec::new();
 
         // Phase 0: the doomed monolithic attempt (§3.3 lesson 1). The
@@ -120,7 +120,7 @@ impl ReproductionSession {
                 kind: PromptKind::Implement { component: idx },
                 words: Prompt::implement_words(strategy.style, c.description_words, c.has_pseudocode),
             };
-            prompts.push(implement_prompt.clone());
+            prompts.push(implement_prompt);
 
             // Stalled session: the prompt was spent but no response
             // arrived. Re-send while the per-component budget lasts;
@@ -129,7 +129,7 @@ impl ReproductionSession {
             let mut budget = retry_policy.budget();
             while let Some(f) = faults.roll(FaultSite::Session, FaultKind::StalledSession) {
                 if budget.try_consume() {
-                    prompts.push(implement_prompt.clone());
+                    prompts.push(implement_prompt);
                     faults.absorb(f);
                 } else {
                     break;
@@ -141,7 +141,7 @@ impl ReproductionSession {
             // regenerate under the same budget.
             while let Some(f) = faults.roll(FaultSite::LlmResponse, FaultKind::GarbageResponse) {
                 if budget.try_consume() {
-                    prompts.push(implement_prompt.clone());
+                    prompts.push(implement_prompt);
                     art = self.llm.implement(c, idx, strategy.style);
                     faults.absorb(f);
                 } else {
@@ -239,7 +239,7 @@ impl ReproductionSession {
             artifacts.iter().flat_map(|a| a.defects.iter().copied()).collect();
         let artifact = PrototypeArtifact::assemble(&spec, &artifacts);
         SessionReport {
-            participant: self.participant.name.clone(),
+            participant: self.participant.name,
             prompts,
             artifact,
             residual_defects,

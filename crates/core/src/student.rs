@@ -12,7 +12,7 @@ use crate::prompt::PromptStyle;
 use serde::{Deserialize, Serialize};
 
 /// A participant's prompting/debugging policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Strategy {
     /// Style used after the initial monolithic failure.
     pub style: PromptStyle,

