@@ -58,6 +58,7 @@ impl Default for LintConfig {
                 "crates/core/src/fault.rs".into(),
                 "crates/core/src/harness.rs".into(),
                 "crates/core/src/pool.rs".into(),
+                "crates/core/src/shard.rs".into(),
                 "crates/core/src/llm.rs".into(),
                 "crates/core/src/session.rs".into(),
                 "crates/lp/src/".into(),
@@ -68,6 +69,7 @@ impl Default for LintConfig {
                 "crates/core/src/fault.rs".into(),
                 "crates/core/src/harness.rs".into(),
                 "crates/core/src/pool.rs".into(),
+                "crates/core/src/shard.rs".into(),
                 "crates/core/src/session.rs".into(),
                 "crates/core/src/transcript.rs".into(),
                 "crates/core/src/timeline.rs".into(),

@@ -7,8 +7,9 @@ use netrepro_core::cache::CellMemo;
 use netrepro_core::diagnosis::{diagnose_dpv, diagnose_resilience, diagnose_te, RootCause};
 use netrepro_core::fault::{FaultOutcome, FaultProfile};
 use netrepro_core::framework::AutoEngineer;
-use netrepro_core::harness::{self, JournalSink, Sweep, SweepConfig, SweepReport, TaskLimits};
+use netrepro_core::harness::{self, CellWork, JournalSink, Sweep, SweepConfig, SweepReport, TaskLimits};
 use netrepro_core::paper::TargetSystem;
+use netrepro_core::shard::{self, Lease, ShardFault};
 use netrepro_core::prompt::PromptStyle;
 use netrepro_core::student::Participant;
 use netrepro_core::survey::{build_corpus, SurveyStats};
@@ -45,8 +46,10 @@ commands:
             [--stage raw|final] [--json] [--fail-on error|warning|never] [--self-check]
   sweep     [--systems CSV] [--styles CSV] [--seeds N] [--profiles CSV]
             [--journal PATH] [--resume PATH] [--deadline N] [--attempts N] [--breaker N]
-            [--workers N] [--json] [--out FILE] [--halt-after K] [--throttle-ms MS]
-            [--no-cache]
+            [--workers N] [--shards N] [--max-restarts N] [--json] [--out FILE]
+            [--halt-after K] [--throttle-ms MS] [--no-cache]
+  sweep-shard  (internal, spawned by sweep --shards) one shard lease:
+            --seq N --start A --end B --journal PATH [--generation G]
   bench     [--quick] [--json] [--out FILE] [--check BASELINE.json]
   rps       serve [--addr H:P] | play [--addr H:P] [--moves RPSR...]
 ";
@@ -555,6 +558,42 @@ impl JournalSink for FileJournal {
     }
 }
 
+/// Wraps the shard child's [`FileJournal`] to inject [`ShardFault`]s:
+/// process-level faults strike *before* the write-ahead append, so an
+/// injected crash always leaves a clean journal prefix — exactly what
+/// a real SIGKILL between appends leaves behind. The stall sleeps at
+/// the CLI layer; `core::shard` itself never reads the wall clock.
+struct ShardFaultSink {
+    inner: FileJournal,
+    /// The next append is the shard header (never faulted: the fault
+    /// schedule covers journaled cells only).
+    header_pending: bool,
+    /// Pre-rolled fault per remaining cell, popped per work line.
+    actions: std::collections::VecDeque<Option<ShardFault>>,
+}
+
+impl JournalSink for ShardFaultSink {
+    fn append(&mut self, line: &str) -> Result<(), String> {
+        if self.header_pending {
+            self.header_pending = false;
+            return self.inner.append(line);
+        }
+        match self.actions.pop_front().flatten() {
+            Some(ShardFault::Crash) => {
+                // Dedicated exit code so tests can tell an injected
+                // crash from a real failure; the coordinator respawns
+                // the lease at the next generation either way.
+                std::process::exit(5);
+            }
+            Some(ShardFault::Stall) => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            None => {}
+        }
+        self.inner.append(line)
+    }
+}
+
 /// Aggregate the sweep's cells into a per-(system, style, profile) text
 /// table: coverage plus mean prompts/LoC over completed cells.
 fn print_sweep_table(report: &SweepReport) {
@@ -608,12 +647,11 @@ fn print_sweep_table(report: &SweepReport) {
     }
 }
 
-/// `netrepro sweep` — the crash-safe orchestration runtime over the
-/// full system × style × seed × profile matrix. Every finished cell is
-/// appended to a JSONL journal before the sweep moves on; `--resume`
-/// replays a journal (dropping a torn trailing record) and executes
-/// only the remainder, producing a byte-identical report.
-pub fn sweep(a: &Args) -> CmdResult {
+/// Parse the matrix + limit flags shared by `sweep` (serial and
+/// coordinator alike) and the `sweep-shard` child, so all three build
+/// the same [`SweepConfig`] — and therefore the same fingerprint —
+/// from the same flag set.
+fn sweep_config_from(a: &Args) -> Result<SweepConfig, ArgError> {
     let systems = parse_csv(
         a.get("systems").unwrap_or("ncflow,arrow,apkeep,ap"),
         TargetSystem::parse,
@@ -635,7 +673,11 @@ pub fn sweep(a: &Args) -> CmdResult {
         backoff_cap: defaults.backoff_cap,
         breaker_threshold: a.get_or("breaker", defaults.breaker_threshold)?,
     };
-    let config = SweepConfig { systems, styles, seeds: (0..n_seeds).collect(), profiles, limits };
+    Ok(SweepConfig { systems, styles, seeds: (0..n_seeds).collect(), profiles, limits })
+}
+
+/// The sweep's worker count: `--workers N` or the machine default.
+fn sweep_workers_from(a: &Args) -> Result<usize, ArgError> {
     let workers: usize = match a.get("workers") {
         Some(_) => a.get_or("workers", 1)?,
         None => default_workers(),
@@ -643,19 +685,57 @@ pub fn sweep(a: &Args) -> CmdResult {
     if workers == 0 {
         return Err(ArgError("--workers must be at least 1".into()));
     }
+    Ok(workers)
+}
+
+/// A [`Sweep`] wired with the Tier A static gate and (optionally) the
+/// deterministic memo. Memoization is on by default: execute_cell is a
+/// pure function of the cell id, so the memo cannot change a single
+/// journal or report byte (property-tested) — `--no-cache` exists for
+/// A/B timing, not correctness.
+fn sweep_runtime(config: &SweepConfig, workers: usize, cache: bool) -> Sweep {
     let mut runtime = Sweep::new(config.clone())
         .with_workers(workers)
         .with_gate(Box::new(|spec, arts| {
             let (report, _) = analysis::gate::gate_artifacts(spec, arts);
             analysis::gate::static_gate(&report)
         }));
-    // Memoization is on by default: execute_cell is a pure function of
-    // the cell id, so the memo cannot change a single journal or report
-    // byte (property-tested) — `--no-cache` exists for A/B timing, not
-    // correctness.
-    if !a.has("no-cache") {
+    if cache {
         runtime = runtime.with_cache(CellMemo::shared());
     }
+    runtime
+}
+
+/// The `--out`/`--json`/table tail shared by the serial sweep and the
+/// shard coordinator — both must print a completed matrix identically.
+fn emit_sweep_report(a: &Args, report: &SweepReport) -> CmdResult {
+    if let Some(out) = a.get("out") {
+        std::fs::write(out, report.render_json())
+            .map_err(|e| ArgError(format!("{out}: {e}")))?;
+    }
+    if a.has("json") {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.summary());
+        print_sweep_table(report);
+    }
+    Ok(())
+}
+
+/// `netrepro sweep` — the crash-safe orchestration runtime over the
+/// full system × style × seed × profile matrix. Every finished cell is
+/// appended to a JSONL journal before the sweep moves on; `--resume`
+/// replays a journal (dropping a torn trailing record) and executes
+/// only the remainder, producing a byte-identical report. With
+/// `--shards N` the matrix runs as N coordinator-supervised child
+/// processes instead ([`sweep_coordinator`]).
+pub fn sweep(a: &Args) -> CmdResult {
+    let config = sweep_config_from(a)?;
+    let workers = sweep_workers_from(a)?;
+    if a.has("shards") {
+        return sweep_coordinator(a, &config, workers);
+    }
+    let runtime = sweep_runtime(&config, workers, !a.has("no-cache"));
     let halt_after =
         if a.has("halt-after") { Some(a.require::<u64>("halt-after")?) } else { None };
     let throttle_ms: u64 = a.get_or("throttle-ms", 0)?;
@@ -699,18 +779,314 @@ pub fn sweep(a: &Args) -> CmdResult {
         let mut sink = FileJournal::new(file, halt_after, throttle_ms);
         runtime.run(&mut sink).map_err(ArgError)?
     };
+    emit_sweep_report(a, &report)
+}
 
-    if let Some(out) = a.get("out") {
-        std::fs::write(out, report.render_json())
-            .map_err(|e| ArgError(format!("{out}: {e}")))?;
+/// Path of the shard journal for lease `seq` inside the shard
+/// directory.
+fn shard_file(dir: &str, seq: u64) -> String {
+    format!("{dir}/shard-{seq}.jsonl")
+}
+
+/// The argv for one `sweep-shard` child: the lease identity plus the
+/// matrix/limit flags that rebuild the coordinator's exact config. Any
+/// drift is caught by the shard header's fingerprint check, not left
+/// to silently skew the matrix.
+fn child_args(
+    a: &Args,
+    config: &SweepConfig,
+    workers: usize,
+    lease: Lease,
+    generation: u32,
+    journal: &str,
+) -> Vec<String> {
+    let mut v: Vec<String> = [
+        "sweep-shard",
+        "--seq", &lease.seq.to_string(),
+        "--start", &lease.start.to_string(),
+        "--end", &lease.end.to_string(),
+        "--generation", &generation.to_string(),
+        "--journal", journal,
+        "--workers", &workers.to_string(),
+        "--systems", a.get("systems").unwrap_or("ncflow,arrow,apkeep,ap"),
+        "--styles", a.get("styles").unwrap_or("text,pseudo"),
+        "--profiles", a.get("profiles").unwrap_or("none,heavy"),
+        "--seeds", &config.seeds.len().to_string(),
+        "--deadline", &config.limits.deadline_steps.to_string(),
+        "--attempts", &config.limits.max_attempts.to_string(),
+        "--breaker", &config.limits.breaker_threshold.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    if let Some(t) = a.get("throttle-ms") {
+        v.push("--throttle-ms".into());
+        v.push(t.into());
     }
-    if a.has("json") {
-        println!("{}", report.render_json());
+    if let Some(k) = a.get("halt-after") {
+        v.push("--halt-after".into());
+        v.push(k.into());
+    }
+    if a.has("no-cache") {
+        v.push("--no-cache".into());
+    }
+    v
+}
+
+/// `netrepro sweep --shards N` — the multi-process coordinator.
+///
+/// Partitions the matrix into contiguous leases, journals each lease
+/// into the coordinator ledger *before* spawning its `sweep-shard`
+/// child (write-ahead: no shard journal can exist without a durable
+/// lease line), supervises the fleet with capped-exponential-backoff
+/// restarts up to `--max-restarts` per lease, and — once every cell's
+/// work is journaled — merges the shard journals into the canonical
+/// journal, byte-identical to a serial run. `--resume` truncates the
+/// ledger and every shard journal to their valid prefixes, harvests
+/// the finished works, and re-leases the remaining runs with
+/// work-stealing splits.
+fn sweep_coordinator(a: &Args, config: &SweepConfig, workers: usize) -> CmdResult {
+    let shards: usize = a.require("shards")?;
+    if shards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
+    let max_restarts: u32 = a.get_or("max-restarts", 8)?;
+    let total = config.total_cells() as u64;
+    let exe = std::env::current_exe().map_err(|e| ArgError(format!("current_exe: {e}")))?;
+
+    let resuming = a.get("resume");
+    let path = resuming.or_else(|| a.get("journal")).unwrap_or("results/sweep.jsonl");
+    let dir = format!("{path}.shards");
+    let coord_path = format!("{dir}/coordinator.jsonl");
+
+    let mut works: std::collections::BTreeMap<u64, CellWork> = std::collections::BTreeMap::new();
+    let mut ledger;
+    let to_run: Vec<Lease>;
+
+    if resuming.is_some() {
+        let text = std::fs::read_to_string(&coord_path).map_err(|e| {
+            ArgError(format!(
+                "cannot read coordinator ledger {coord_path}: {e} \
+                 (was this journal written with --shards?)"
+            ))
+        })?;
+        let replay = shard::parse_coord_journal(&text, config, shards)
+            .map_err(|e| ArgError(e.to_string()))?;
+        if replay.dropped_partial {
+            eprintln!("coordinator ledger {coord_path}: dropped a torn trailing record");
+        }
+        // Harvest every journaled work from the shard files of every
+        // issued lease — a lease whose child never wrote a byte (or
+        // whose file is a torn header) simply contributes nothing.
+        for lease in &replay.leases {
+            let sp = shard_file(&dir, lease.seq);
+            let stext = std::fs::read_to_string(&sp).unwrap_or_default();
+            let sr = shard::parse_shard_journal(&stext, config, *lease)
+                .map_err(|e| ArgError(format!("{sp}: {e}")))?;
+            shard::collect_works(*lease, &sr, &mut works);
+        }
+        let runs = shard::remaining_runs(total, &works);
+        to_run = shard::plan_leases(&runs, shards, replay.next_seq());
+        eprintln!(
+            "resuming {path}: {} of {total} cells journaled across {} shard journal(s); \
+             {} fresh lease(s)",
+            works.len(),
+            replay.leases.len(),
+            to_run.len()
+        );
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&coord_path)
+            .map_err(|e| ArgError(format!("cannot reopen {coord_path}: {e}")))?;
+        file.set_len(replay.valid_bytes)
+            .map_err(|e| ArgError(format!("truncate {coord_path}: {e}")))?;
+        drop(file);
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&coord_path)
+            .map_err(|e| ArgError(format!("cannot append to {coord_path}: {e}")))?;
+        ledger = FileJournal::new(file, None, 0);
+        if !replay.has_header {
+            ledger
+                .append(&shard::CoordHeader::new(config, shards).line().map_err(ArgError)?)
+                .map_err(ArgError)?;
+        }
     } else {
-        print!("{}", report.summary());
-        print_sweep_table(&report);
+        // A fresh run owns the shard directory: stale journals from an
+        // abandoned run must not be harvested into this one.
+        if std::path::Path::new(&dir).exists() {
+            std::fs::remove_dir_all(&dir).map_err(|e| ArgError(format!("{dir}: {e}")))?;
+        }
+        std::fs::create_dir_all(&dir).map_err(|e| ArgError(format!("{dir}: {e}")))?;
+        let file = std::fs::File::create(&coord_path)
+            .map_err(|e| ArgError(format!("cannot create {coord_path}: {e}")))?;
+        ledger = FileJournal::new(file, None, 0);
+        ledger
+            .append(&shard::CoordHeader::new(config, shards).line().map_err(ArgError)?)
+            .map_err(ArgError)?;
+        to_run = shard::partition(total, shards)
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Lease { seq: i as u64, start: r.start, end: r.end })
+            .collect();
     }
-    Ok(())
+
+    struct Slot {
+        lease: Lease,
+        child: Option<std::process::Child>,
+        generation: u32,
+        restarts: u32,
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    for lease in to_run {
+        ledger.append(&shard::CoordLine::Lease { lease }.line().map_err(ArgError)?).map_err(ArgError)?;
+        let sp = shard_file(&dir, lease.seq);
+        let child = std::process::Command::new(&exe)
+            .args(child_args(a, config, workers, lease, 0, &sp))
+            .spawn()
+            .map_err(|e| ArgError(format!("spawn shard {}: {e}", lease.seq)))?;
+        slots.push(Slot { lease, child: Some(child), generation: 0, restarts: 0 });
+    }
+
+    let mut exhausted = 0usize;
+    while slots.iter().any(|s| s.child.is_some()) {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        for slot in &mut slots {
+            let Some(child) = slot.child.as_mut() else { continue };
+            let status = match child.try_wait() {
+                Ok(None) => continue,
+                Ok(Some(status)) => status,
+                Err(e) => return Err(ArgError(format!("wait on shard {}: {e}", slot.lease.seq))),
+            };
+            slot.child = None;
+            let sp = shard_file(&dir, slot.lease.seq);
+            let stext = std::fs::read_to_string(&sp).unwrap_or_default();
+            let complete = shard::parse_shard_journal(&stext, config, slot.lease)
+                .map(|sr| sr.works.len() as u64 == slot.lease.range().len())
+                .unwrap_or(false);
+            if status.success() && complete {
+                ledger
+                    .append(&shard::CoordLine::Done { seq: slot.lease.seq }.line().map_err(ArgError)?)
+                    .map_err(ArgError)?;
+                continue;
+            }
+            slot.restarts += 1;
+            if slot.restarts > max_restarts {
+                eprintln!(
+                    "shard {} (cells {}): {status}; restart cap --max-restarts {max_restarts} \
+                     exhausted, giving up on this lease",
+                    slot.lease.seq,
+                    slot.lease.range()
+                );
+                exhausted += 1;
+                continue;
+            }
+            let wait = config.limits.backoff(slot.restarts);
+            eprintln!(
+                "shard {} (cells {}): {status}; restart {}/{max_restarts} after {wait}ms",
+                slot.lease.seq,
+                slot.lease.range(),
+                slot.restarts
+            );
+            std::thread::sleep(std::time::Duration::from_millis(wait));
+            slot.generation += 1;
+            let child = std::process::Command::new(&exe)
+                .args(child_args(a, config, workers, slot.lease, slot.generation, &sp))
+                .spawn()
+                .map_err(|e| ArgError(format!("respawn shard {}: {e}", slot.lease.seq)))?;
+            slot.child = Some(child);
+        }
+    }
+
+    for slot in &slots {
+        let sp = shard_file(&dir, slot.lease.seq);
+        let stext = std::fs::read_to_string(&sp).unwrap_or_default();
+        if let Ok(sr) = shard::parse_shard_journal(&stext, config, slot.lease) {
+            shard::collect_works(slot.lease, &sr, &mut works);
+        }
+    }
+    let (covered, missing) = shard::coverage_of(total, &works);
+    if !missing.is_empty() {
+        eprintln!("partial coverage: {covered} of {total} cells journaled; missing runs:");
+        for r in &missing {
+            eprintln!("  cells {r}");
+        }
+        return Err(ArgError(format!(
+            "sharded sweep incomplete: {exhausted} lease(s) exhausted the restart cap; \
+             re-run with --shards {shards} --resume {path} to continue"
+        )));
+    }
+
+    // The final journal is derived state, recomputed wholesale from the
+    // shard journals — so an interrupted merge is simply overwritten.
+    let merger = sweep_runtime(config, workers, false);
+    let file = std::fs::File::create(path)
+        .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+    let mut sink = FileJournal::new(file, None, 0);
+    let report = shard::merge(&merger, &works, &mut sink).map_err(ArgError)?;
+    emit_sweep_report(a, &report)
+}
+
+/// `netrepro sweep-shard` — the coordinator-spawned child that
+/// executes one lease into its per-shard write-ahead journal. Internal,
+/// but runnable by hand for debugging: it resumes its own journal the
+/// same way the top-level sweep does (truncate to the valid prefix,
+/// execute the remainder).
+pub fn sweep_shard(a: &Args) -> CmdResult {
+    let config = sweep_config_from(a)?;
+    let workers = sweep_workers_from(a)?;
+    let lease = Lease { seq: a.require("seq")?, start: a.require("start")?, end: a.require("end")? };
+    let generation: u32 = a.get_or("generation", 0)?;
+    let path = a
+        .get("journal")
+        .ok_or_else(|| ArgError("sweep-shard needs --journal PATH".into()))?;
+    let halt_after =
+        if a.has("halt-after") { Some(a.require::<u64>("halt-after")?) } else { None };
+    let throttle_ms: u64 = a.get_or("throttle-ms", 0)?;
+
+    let cells = config.expand();
+    if lease.start > lease.end || lease.end as usize > cells.len() {
+        return Err(ArgError(format!(
+            "lease range {} outside the {}-cell matrix",
+            lease.range(),
+            cells.len()
+        )));
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let replay =
+        shard::parse_shard_journal(&text, &config, lease).map_err(|e| ArgError(e.to_string()))?;
+    if replay.dropped_partial {
+        eprintln!("shard journal {path}: dropped a torn trailing record; its cell re-runs");
+    }
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        // Keep the valid prefix: the explicit set_len below is the only
+        // truncation a resume performs.
+        .truncate(false)
+        .open(path)
+        .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+    file.set_len(replay.valid_bytes).map_err(|e| ArgError(format!("truncate {path}: {e}")))?;
+    drop(file);
+    let file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| ArgError(format!("cannot append to {path}: {e}")))?;
+
+    // Injected shard faults are rolled up front for the cells this
+    // generation will journal — pure in (cell, generation), so a
+    // respawned child rolls a fresh schedule instead of replaying the
+    // exact crash that killed it.
+    let todo = &cells[lease.start as usize + replay.works.len()..lease.end as usize];
+    let actions = todo.iter().map(|&c| shard::roll_shard_fault(c, generation)).collect();
+
+    let sweep = sweep_runtime(&config, workers, !a.has("no-cache"));
+    let mut sink = ShardFaultSink {
+        inner: FileJournal::new(file, halt_after, throttle_ms),
+        header_pending: !replay.has_header,
+        actions,
+    };
+    shard::run_shard(&sweep, lease, &replay, &mut sink).map_err(ArgError)
 }
 
 /// One worker-count row of the bench sweep table.
@@ -749,13 +1125,25 @@ struct BddBench {
     applies_per_sec: f64,
 }
 
-/// The full `netrepro bench` output (`BENCH_5.json`).
+/// One shard-count row of the sharded-sweep bench.
+#[derive(serde::Serialize)]
+struct ShardBenchRun {
+    shards: u64,
+    secs: f64,
+    cells_per_sec: f64,
+    /// Deterministic invariant, not a timing: the merged journal must
+    /// be byte-identical to the serial journal.
+    merge_identical: bool,
+}
+
+/// The full `netrepro bench` output (`BENCH_6.json`).
 #[derive(serde::Serialize)]
 struct BenchReport {
     id: String,
     caption: String,
     cache_scheme: String,
     sections: std::collections::BTreeMap<String, BenchSection>,
+    sweep_shards: Vec<ShardBenchRun>,
     lp: LpBench,
     bdd: BddBench,
 }
@@ -949,6 +1337,17 @@ fn bench_check(current: &BenchReport, baseline: &serde_json::Value) -> Result<()
             }
         }
     }
+    // The shard rows gate a deterministic invariant of *this* run, not
+    // a baseline-relative ratio: the merged journal must equal the
+    // serial journal byte-for-byte.
+    for run in &current.sweep_shards {
+        if !run.merge_identical {
+            failures.push(format!(
+                "sweep_shards shards={}: merged journal diverged from the serial journal",
+                run.shards
+            ));
+        }
+    }
     let base_lp_hit = baseline["lp"]["hit_rate"].as_f64().unwrap_or(0.0);
     if !within_tolerance(current.lp.hit_rate, base_lp_hit, TOL) {
         failures.push(format!(
@@ -993,11 +1392,35 @@ pub fn bench(a: &Args) -> CmdResult {
         );
     }
 
+    // The sharded pipeline over the quick matrix: `run_sharded`
+    // exercises partition → per-shard journaling (serde included) →
+    // parse-back → merge in-process, against a serial byte baseline.
+    let shard_cfg = bench_quick_config();
+    let mut serial_sink = harness::MemoryJournal::new();
+    sweep_runtime(&shard_cfg, 1, false).run(&mut serial_sink).map_err(ArgError)?;
+    let mut sweep_shards = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let runtime = sweep_runtime(&shard_cfg, 1, false);
+        let mut sink = harness::MemoryJournal::new();
+        let t0 = std::time::Instant::now();
+        shard::run_sharded(&runtime, shards, &mut sink).map_err(ArgError)?;
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        sweep_shards.push(ShardBenchRun {
+            shards: shards as u64,
+            secs,
+            cells_per_sec: shard_cfg.total_cells() as f64 / secs,
+            merge_identical: sink.text() == serial_sink.text(),
+        });
+    }
+
     let report = BenchReport {
-        id: "bench_5".to_string(),
-        caption: "cold vs warm sweep throughput and solver-kernel micro-benchmarks".to_string(),
+        id: "bench_6".to_string(),
+        caption: "cold vs warm sweep throughput, sharded-merge pipeline, and solver-kernel \
+                  micro-benchmarks"
+            .to_string(),
         cache_scheme: netrepro_core::cache::SCHEME.to_string(),
         sections,
+        sweep_shards,
         lp: bench_lp()?,
         bdd: bench_bdd(),
     };
@@ -1023,6 +1446,12 @@ pub fn bench(a: &Args) -> CmdResult {
                     r.warm_work_hit_rate
                 );
             }
+        }
+        for r in &report.sweep_shards {
+            println!(
+                "shards {}: {:>8.1} cells/s (merge identical: {})",
+                r.shards, r.cells_per_sec, r.merge_identical
+            );
         }
         println!(
             "lp: {:.0} solves/s cold, {:.0} solves/s cached (hit rate {:.3})",

@@ -14,8 +14,8 @@
 //!                   [--stage raw|final] [--json] [--fail-on error|warning|never] [--self-check]
 //! netrepro sweep    [--systems CSV] [--styles CSV] [--seeds N] [--profiles CSV]
 //!                   [--journal PATH] [--resume PATH] [--deadline N] [--attempts N]
-//!                   [--breaker N] [--workers N] [--json] [--out FILE] [--halt-after K]
-//!                   [--throttle-ms MS] [--no-cache]
+//!                   [--breaker N] [--workers N] [--shards N] [--max-restarts N]
+//!                   [--json] [--out FILE] [--halt-after K] [--throttle-ms MS] [--no-cache]
 //! netrepro bench    [--quick] [--json] [--out FILE] [--check BASELINE.json]
 //! netrepro rps      serve [--addr HOST:PORT] | play [--addr HOST:PORT] [--moves RPS...]
 //! ```
@@ -44,6 +44,7 @@ fn main() {
         Some("validate") => cmd::validate(&a),
         Some("analyze") => cmd::analyze(&a),
         Some("sweep") => cmd::sweep(&a),
+        Some("sweep-shard") => cmd::sweep_shard(&a),
         Some("bench") => cmd::bench(&a),
         Some("rps") => cmd::rps(&a),
         Some(other) => Err(args::ArgError(format!("unknown command '{other}'\n{}", cmd::USAGE))),

@@ -406,6 +406,173 @@ fn sweep_resume_on_torn_header_only_journal_starts_fresh() {
 }
 
 #[test]
+fn sweep_sharded_matches_serial_bytes() {
+    let matrix: &[&str] =
+        &["--systems", "ncflow,rps", "--styles", "text", "--seeds", "2", "--profiles", "none,chaos"];
+    let (sj, so) = (scratch("shard-serial.jsonl"), scratch("shard-serial.json"));
+    let (_, _, ok) =
+        run(&[&["sweep"], matrix, &["--workers", "1", "--journal", &sj, "--out", &so]].concat());
+    assert!(ok, "serial sweep runs");
+    let (pj, po) = (scratch("shard-3.jsonl"), scratch("shard-3.json"));
+    let (_, stderr, ok) = run(
+        &[&["sweep"], matrix, &["--workers", "1", "--shards", "3", "--journal", &pj, "--out", &po]]
+            .concat(),
+    );
+    assert!(ok, "sharded sweep runs: {stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&sj).unwrap(),
+        std::fs::read_to_string(&pj).unwrap(),
+        "merged shard journal must be byte-identical to serial"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&so).unwrap(),
+        std::fs::read_to_string(&po).unwrap(),
+        "sharded report must be byte-identical to serial"
+    );
+}
+
+#[test]
+fn sweep_sharded_restarts_recover_from_torn_shard_journals() {
+    // --halt-after 2 makes every shard child tear its second journal
+    // line and exit 3 — each respawn makes exactly one cell of
+    // progress, so finishing at all proves the coordinator's
+    // truncate-and-respawn loop, and the byte-diff proves the merge.
+    let matrix: &[&str] =
+        &["--systems", "ncflow,rps", "--styles", "text", "--seeds", "2", "--profiles", "none,chaos"];
+    let (sj, so) = (scratch("crashy-serial.jsonl"), scratch("crashy-serial.json"));
+    let (_, _, ok) =
+        run(&[&["sweep"], matrix, &["--workers", "1", "--journal", &sj, "--out", &so]].concat());
+    assert!(ok, "serial sweep runs");
+    let (cj, co) = (scratch("crashy.jsonl"), scratch("crashy.json"));
+    let (_, stderr, ok) = run(
+        &[
+            &["sweep"],
+            matrix,
+            &["--workers", "1", "--shards", "2", "--halt-after", "2", "--journal", &cj, "--out", &co],
+        ]
+        .concat(),
+    );
+    assert!(ok, "crash-looped sharded sweep must still finish: {stderr}");
+    assert!(stderr.contains("restart"), "children must have been respawned: {stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&sj).unwrap(),
+        std::fs::read_to_string(&cj).unwrap(),
+        "journal rebuilt through shard crashes must match serial"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&so).unwrap(),
+        std::fs::read_to_string(&co).unwrap(),
+        "report rebuilt through shard crashes must match serial"
+    );
+}
+
+#[test]
+fn sweep_sharded_restart_cap_reports_partial_coverage_then_resumes() {
+    // --halt-after 1 tears the shard *header* on every spawn: zero
+    // progress per generation, so the cap must trip deterministically
+    // and the coordinator must exit nonzero with a coverage report
+    // instead of looping forever.
+    let matrix: &[&str] =
+        &["--systems", "ncflow,rps", "--styles", "text", "--seeds", "2", "--profiles", "none,chaos"];
+    let (kj, ko) = (scratch("cap.jsonl"), scratch("cap.json"));
+    let (_, stderr, code) = run_code(
+        &[
+            &["sweep"],
+            matrix,
+            &[
+                "--workers", "1", "--shards", "2", "--halt-after", "1", "--max-restarts", "2",
+                "--journal", &kj,
+            ],
+        ]
+        .concat(),
+    );
+    assert_eq!(code, Some(2), "exhausted restart cap must exit nonzero: {stderr}");
+    assert!(stderr.contains("restart cap --max-restarts 2 exhausted"), "{stderr}");
+    assert!(stderr.contains("partial coverage: 0 of 8 cells journaled"), "{stderr}");
+    assert!(stderr.contains("missing runs:"), "{stderr}");
+    assert!(stderr.contains("--resume"), "the error must name the remedy: {stderr}");
+    // Resume the wreck without the fault flag: the coordinator replays
+    // its ledger, re-leases the uncovered runs, and completes.
+    let (sj, so) = (scratch("cap-serial.jsonl"), scratch("cap-serial.json"));
+    let (_, _, ok) =
+        run(&[&["sweep"], matrix, &["--workers", "1", "--journal", &sj, "--out", &so]].concat());
+    assert!(ok, "serial baseline runs");
+    let (_, stderr, ok) = run(
+        &[&["sweep"], matrix, &["--workers", "1", "--shards", "2", "--resume", &kj, "--out", &ko]]
+            .concat(),
+    );
+    assert!(ok, "sharded resume must succeed: {stderr}");
+    assert!(stderr.contains("resuming"), "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&sj).unwrap(),
+        std::fs::read_to_string(&kj).unwrap(),
+        "resumed sharded journal must match serial"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&so).unwrap(),
+        std::fs::read_to_string(&ko).unwrap(),
+        "resumed sharded report must match serial"
+    );
+}
+
+#[test]
+fn sweep_sharded_resume_rejects_changed_shard_count() {
+    let matrix: &[&str] =
+        &["--systems", "rps", "--styles", "text", "--seeds", "2", "--profiles", "none"];
+    let j = scratch("count.jsonl");
+    let (_, stderr, ok) =
+        run(&[&["sweep"], matrix, &["--shards", "2", "--journal", &j]].concat());
+    assert!(ok, "sharded sweep runs: {stderr}");
+    let (_, stderr, ok) =
+        run(&[&["sweep"], matrix, &["--shards", "3", "--resume", &j]].concat());
+    assert!(!ok, "a different --shards must be rejected");
+    assert!(stderr.contains("journal mismatch: shard-count"), "{stderr}");
+    assert!(stderr.contains("original shard count"), "{stderr}");
+}
+
+#[test]
+fn sweep_resume_mismatches_are_typed_and_actionable() {
+    let matrix: &[&str] =
+        &["--systems", "rps", "--styles", "text", "--seeds", "2", "--profiles", "none"];
+    let j = scratch("typed.jsonl");
+    let (_, _, ok) = run(&[&["sweep"], matrix, &["--journal", &j]].concat());
+    assert!(ok, "baseline sweep runs");
+    let journal = std::fs::read_to_string(&j).unwrap();
+
+    // Version skew: doctor the header's layout version.
+    let vj = scratch("typed-version.jsonl");
+    std::fs::write(&vj, journal.replacen("\"version\":2", "\"version\":99", 1)).unwrap();
+    let (_, stderr, ok) = run(&[&["sweep"], matrix, &["--resume", &vj]].concat());
+    assert!(!ok, "version skew must be rejected");
+    assert!(stderr.contains("journal mismatch: version"), "{stderr}");
+    assert!(stderr.contains("incompatible build"), "{stderr}");
+
+    // Cache-scheme skew: doctor the memo scheme identifier.
+    let cj = scratch("typed-cache.jsonl");
+    std::fs::write(&cj, journal.replacen("cellmemo-v1/fnv1a64", "cellmemo-v0/legacy", 1)).unwrap();
+    let (_, stderr, ok) = run(&[&["sweep"], matrix, &["--resume", &cj]].concat());
+    assert!(!ok, "cache-scheme skew must be rejected");
+    assert!(stderr.contains("journal mismatch: cache-scheme"), "{stderr}");
+    assert!(stderr.contains("delete the journal"), "{stderr}");
+
+    // Fingerprint skew: resume the same journal under different axes.
+    let (_, stderr, ok) = run(&[
+        "sweep", "--systems", "rps", "--styles", "text", "--seeds", "3", "--profiles", "none",
+        "--resume", &j,
+    ]);
+    assert!(!ok, "matrix skew must be rejected");
+    assert!(stderr.contains("journal mismatch: fingerprint"), "{stderr}");
+    assert!(stderr.contains("original flags"), "{stderr}");
+}
+
+#[test]
+fn sweep_rejects_zero_shards() {
+    let (_, stderr, ok) = run(&["sweep", "--shards", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--shards"), "{stderr}");
+}
+
+#[test]
 fn sweep_rejects_zero_workers() {
     let (_, stderr, ok) = run(&["sweep", "--workers", "0"]);
     assert!(!ok);

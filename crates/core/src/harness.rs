@@ -60,6 +60,7 @@ const SALT_SESSION: u64 = 0x5e55_1011_0000_0001;
 const SALT_FAULTS: u64 = 0xfa17_0a75_0000_0002;
 const SALT_HARNESS: u64 = 0x4a52_4e53_0000_0003;
 pub(crate) const SALT_WORKER: u64 = 0x3090_4b32_0000_0004;
+pub(crate) const SALT_SHARD: u64 = 0x54a2_d001_0000_0005;
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -250,8 +251,9 @@ pub struct InjectedCrash {
 
 /// Install a process-wide panic hook that silences injected crashes
 /// (they are expected, caught, and journaled) while delegating every
-/// other panic to the previously installed hook. Idempotent.
-fn install_quiet_hook() {
+/// other panic to the previously installed hook. Idempotent. The shard
+/// child process installs it before running its range.
+pub(crate) fn install_quiet_hook() {
     static HOOK: std::sync::Once = std::sync::Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
@@ -438,11 +440,90 @@ impl JournalSink for MemoryJournal {
     }
 }
 
+/// Which journal-header field disagreed with the resuming run. Typed
+/// so the CLI can name the field and print the matching remedy instead
+/// of a generic refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MismatchField {
+    /// Journal layout version ([`JOURNAL_VERSION`]).
+    Version,
+    /// [`SweepConfig::fingerprint`] of the matrix + limits.
+    Fingerprint,
+    /// Matrix size.
+    TotalCells,
+    /// Memoization scheme identifier ([`crate::cache::SCHEME`]).
+    CacheScheme,
+    /// Shard count in a coordinator journal header.
+    ShardCount,
+    /// Lease id in a shard journal header.
+    ShardLease,
+    /// Cell range in a shard journal header.
+    ShardRange,
+}
+
+impl MismatchField {
+    /// Stable lowercase field name (the CLI tests grep for it).
+    pub fn name(self) -> &'static str {
+        match self {
+            MismatchField::Version => "version",
+            MismatchField::Fingerprint => "fingerprint",
+            MismatchField::TotalCells => "total-cells",
+            MismatchField::CacheScheme => "cache-scheme",
+            MismatchField::ShardCount => "shard-count",
+            MismatchField::ShardLease => "shard-lease",
+            MismatchField::ShardRange => "shard-range",
+        }
+    }
+
+    /// What the operator should do about it.
+    pub fn hint(self) -> &'static str {
+        match self {
+            MismatchField::Version => {
+                "this journal was written by an incompatible build; \
+                 delete it (or point --journal elsewhere) to start fresh"
+            }
+            MismatchField::Fingerprint => {
+                "the sweep matrix or limits differ from the run that wrote \
+                 this journal; resume with the original flags, or delete \
+                 the journal to sweep the new matrix"
+            }
+            MismatchField::TotalCells => {
+                "the matrix size changed; resume with the original axes, \
+                 or delete the journal to start fresh"
+            }
+            MismatchField::CacheScheme => {
+                "the memoization key derivation changed incompatibly; \
+                 delete the journal to re-sweep under the new scheme"
+            }
+            MismatchField::ShardCount => {
+                "--shards differs from the coordinator journal; resume \
+                 with the original shard count, or delete the shard \
+                 directory to re-partition"
+            }
+            MismatchField::ShardLease => {
+                "this shard journal belongs to a different lease; delete \
+                 the shard directory to re-lease"
+            }
+            MismatchField::ShardRange => {
+                "this shard journal covers a different cell range; delete \
+                 the shard directory to re-lease"
+            }
+        }
+    }
+}
+
 /// Why a journal cannot be replayed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JournalError {
-    /// The journal belongs to a different sweep configuration.
-    Mismatch(String),
+    /// A header field disagrees with the resuming run's configuration.
+    Mismatch {
+        /// Which field.
+        field: MismatchField,
+        /// The value the journal recorded.
+        found: String,
+        /// The value this run expects.
+        expected: String,
+    },
     /// A non-trailing line is unreadable; the journal is damaged beyond
     /// the safe prefix-drop recovery.
     Corrupt {
@@ -453,10 +534,26 @@ pub enum JournalError {
     },
 }
 
+impl JournalError {
+    /// A header-field mismatch.
+    pub fn mismatch(
+        field: MismatchField,
+        found: impl Into<String>,
+        expected: impl Into<String>,
+    ) -> Self {
+        JournalError::Mismatch { field, found: found.into(), expected: expected.into() }
+    }
+}
+
 impl std::fmt::Display for JournalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            JournalError::Mismatch(m) => write!(f, "journal mismatch: {m}"),
+            JournalError::Mismatch { field, found, expected } => write!(
+                f,
+                "journal mismatch: {} — journal has {found}, this run expects {expected}; {}",
+                field.name(),
+                field.hint()
+            ),
             JournalError::Corrupt { line, message } => {
                 write!(f, "journal corrupt at line {line}: {message}")
             }
@@ -490,7 +587,8 @@ impl Replay {
 
 /// Split `text` into lines, keeping byte offsets and whether each line
 /// is newline-terminated (an unterminated final line is a torn write).
-fn split_lines(text: &str) -> Vec<(&str, u64, bool)> {
+/// Shared with the shard and coordinator journal parsers.
+pub(crate) fn split_lines(text: &str) -> Vec<(&str, u64, bool)> {
     let mut out = Vec::new();
     let mut start = 0;
     while start < text.len() {
@@ -507,6 +605,46 @@ fn split_lines(text: &str) -> Vec<(&str, u64, bool)> {
         }
     }
     out
+}
+
+/// Validate the fields every journal header shares (version,
+/// fingerprint, matrix size, cache scheme) against `config`. The shard
+/// runtime reuses this for its extended shard and coordinator headers.
+pub(crate) fn check_header(
+    header: &JournalHeader,
+    config: &SweepConfig,
+    total_cells: usize,
+) -> Result<(), JournalError> {
+    if header.version != JOURNAL_VERSION {
+        return Err(JournalError::mismatch(
+            MismatchField::Version,
+            header.version.to_string(),
+            JOURNAL_VERSION.to_string(),
+        ));
+    }
+    let fingerprint = config.fingerprint();
+    if header.fingerprint != fingerprint {
+        return Err(JournalError::mismatch(
+            MismatchField::Fingerprint,
+            header.fingerprint.clone(),
+            fingerprint,
+        ));
+    }
+    if header.total_cells != total_cells as u64 {
+        return Err(JournalError::mismatch(
+            MismatchField::TotalCells,
+            header.total_cells.to_string(),
+            total_cells.to_string(),
+        ));
+    }
+    if header.cache != crate::cache::SCHEME {
+        return Err(JournalError::mismatch(
+            MismatchField::CacheScheme,
+            header.cache.clone(),
+            crate::cache::SCHEME,
+        ));
+    }
+    Ok(())
 }
 
 /// Parse a journal against `config`, returning the replayable prefix.
@@ -551,33 +689,7 @@ pub fn parse_journal(text: &str, config: &SweepConfig) -> Result<Replay, Journal
             has_header: false,
         });
     }
-    if header.version != JOURNAL_VERSION {
-        return Err(JournalError::Mismatch(format!(
-            "journal version {} (expected {JOURNAL_VERSION})",
-            header.version
-        )));
-    }
-    let fingerprint = config.fingerprint();
-    if header.fingerprint != fingerprint {
-        return Err(JournalError::Mismatch(format!(
-            "fingerprint {} (this sweep is {fingerprint})",
-            header.fingerprint
-        )));
-    }
-    if header.total_cells != cells.len() as u64 {
-        return Err(JournalError::Mismatch(format!(
-            "{} cells (this sweep has {})",
-            header.total_cells,
-            cells.len()
-        )));
-    }
-    if header.cache != crate::cache::SCHEME {
-        return Err(JournalError::Mismatch(format!(
-            "cache scheme {} (this build uses {})",
-            header.cache,
-            crate::cache::SCHEME
-        )));
-    }
+    check_header(&header, config, cells.len())?;
 
     let mut records = Vec::new();
     let mut valid_bytes = head_end;
@@ -740,7 +852,7 @@ impl SweepReport {
     }
 }
 
-fn json_line<T: Serialize>(value: &T) -> Result<String, String> {
+pub(crate) fn json_line<T: Serialize>(value: &T) -> Result<String, String> {
     serde_json::to_string(value)
         .map(|mut s| {
             s.push('\n');
@@ -755,8 +867,10 @@ fn json_line<T: Serialize>(value: &T) -> Result<String, String> {
 /// [`CellId`] (every RNG stream is derived from the cell key), which
 /// is what makes speculative parallel execution sound: the pool can
 /// run cells in any order and the commit step re-anchors them to the
-/// canonical clock and breaker state.
-#[derive(Debug, Clone, PartialEq)]
+/// canonical clock and breaker state. Serializable because the sharded
+/// runtime journals works — not committed records — per shard, and the
+/// merge step replays them through [`Sweep`]'s commit path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellWork {
     /// Every attempt, in order.
     pub attempts: Vec<AttemptRecord>,
@@ -923,7 +1037,7 @@ impl Sweep {
     }
 
     /// Whether `cell`'s class has tripped its circuit breaker.
-    fn breaker_tripped(&self, breaker: &BTreeMap<String, u32>, cell: CellId) -> bool {
+    pub(crate) fn breaker_tripped(&self, breaker: &BTreeMap<String, u32>, cell: CellId) -> bool {
         breaker.get(&cell.class()).copied().unwrap_or(0) >= self.config.limits.breaker_threshold
     }
 
@@ -933,8 +1047,10 @@ impl Sweep {
     /// quarantined past its threshold by an earlier-committing cell is
     /// discarded here and recorded as [`CellStatus::SkippedByBreaker`],
     /// which is what makes worker-count-independence structural rather
-    /// than incidental.
-    fn commit_cell(
+    /// than incidental. The shard-merge step funnels every shard's
+    /// journaled works through here in canonical order, which is why a
+    /// merged journal is byte-identical to a serial one.
+    pub(crate) fn commit_cell(
         &self,
         cell: CellId,
         work: Option<CellWork>,
@@ -1135,7 +1251,7 @@ impl Sweep {
     }
 
     /// Fold the records into the final report.
-    fn assemble(&self, records: Vec<CellRecord>, clock: u64) -> SweepReport {
+    pub(crate) fn assemble(&self, records: Vec<CellRecord>, clock: u64) -> SweepReport {
         let mut coverage = Coverage {
             total: records.len() as u64,
             attempted: 0,
@@ -1315,8 +1431,39 @@ mod tests {
         let mut other = cfg.clone();
         other.seeds = vec![0, 1];
         match parse_journal(sink.text(), &other) {
-            Err(JournalError::Mismatch(_)) => {}
-            other => panic!("expected Mismatch, got {other:?}"),
+            Err(JournalError::Mismatch { field: MismatchField::Fingerprint, .. }) => {}
+            other => panic!("expected a fingerprint Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatch_errors_name_the_field_and_a_remedy() {
+        let cfg = tiny_config();
+        let sweep = Sweep::new(cfg.clone());
+        let mut sink = MemoryJournal::new();
+        sweep.run(&mut sink).unwrap();
+        let header_line = sink.text().split_inclusive('\n').next().unwrap();
+        let mut header: JournalHeader = serde_json::from_str(header_line.trim_end()).unwrap();
+        header.version = JOURNAL_VERSION + 1;
+        let doctored = format!("{}\n", serde_json::to_string(&header).unwrap());
+        let err = parse_journal(&doctored, &cfg).unwrap_err();
+        match &err {
+            JournalError::Mismatch { field: MismatchField::Version, found, expected } => {
+                assert_eq!(found, &(JOURNAL_VERSION + 1).to_string());
+                assert_eq!(expected, &JOURNAL_VERSION.to_string());
+            }
+            other => panic!("expected a version Mismatch, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("journal mismatch: version"), "{msg}");
+        assert!(msg.contains("incompatible build"), "mismatch must carry a remedy: {msg}");
+
+        let mut cached = serde_json::from_str::<JournalHeader>(header_line.trim_end()).unwrap();
+        cached.cache = "cellmemo-v0/other".to_string();
+        let doctored = format!("{}\n", serde_json::to_string(&cached).unwrap());
+        match parse_journal(&doctored, &cfg) {
+            Err(JournalError::Mismatch { field: MismatchField::CacheScheme, .. }) => {}
+            other => panic!("expected a cache-scheme Mismatch, got {other:?}"),
         }
     }
 

@@ -46,7 +46,11 @@
 //!   canonical order;
 //! * [`cache`] — the deterministic memoization layer ([`cache::CellMemo`])
 //!   the sweep consults for oracle-side artifacts and warm cell replays;
-//!   observationally invisible by construction.
+//!   observationally invisible by construction;
+//! * [`shard`] — the sharded sweep runtime: contiguous shard ranges,
+//!   per-shard write-ahead journals, a coordinator lease ledger, and
+//!   the deterministic merge that reconstructs the canonical journal
+//!   byte-identical to a serial run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +67,7 @@ pub mod paper;
 pub mod pool;
 pub mod prompt;
 pub mod session;
+pub mod shard;
 pub mod student;
 pub mod survey;
 pub mod timeline;
