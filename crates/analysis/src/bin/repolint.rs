@@ -1,9 +1,13 @@
 //! The workspace invariant linter, as a CI-runnable binary:
-//! `cargo run -p analysis --bin repolint [-- --root DIR --allowlist FILE]`.
+//! `cargo run -p analysis --bin repolint [-- --root DIR --allowlist FILE]`
+//! for the pattern rules, or `-- --effects [--json]` for the
+//! effect-inference determinism analyzer.
 //!
-//! Exit status: 0 when no error-severity findings remain after the
-//! allowlist is applied, 1 otherwise, 2 on usage/IO problems.
+//! Exit status: 0 when no error-severity findings remain (for
+//! `--effects`, additionally no warnings — `-D` semantics: stale
+//! allowances fail CI too), 1 otherwise, 2 on usage/IO problems.
 
+use analysis::effects::{analyze, EffectConfig};
 use analysis::repolint::{lint, LintConfig};
 use analysis::Severity;
 use std::path::PathBuf;
@@ -12,6 +16,8 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allowlist: Option<PathBuf> = None;
+    let mut effects = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -23,12 +29,41 @@ fn main() -> ExitCode {
                 Some(v) => allowlist = Some(PathBuf::from(v)),
                 None => return usage("--allowlist needs a value"),
             },
+            "--effects" => effects = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: repolint [--root DIR] [--allowlist FILE]");
+                println!("usage: repolint [--root DIR] [--allowlist FILE] [--effects [--json]]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
+    }
+    if json && !effects {
+        return usage("--json requires --effects");
+    }
+    if effects {
+        return match analyze(&root, &EffectConfig::workspace_default()) {
+            Ok(report) => {
+                if json {
+                    print!("{}", report.render_json());
+                } else {
+                    print!("{}", report.render_text());
+                }
+                let findings = report.findings();
+                if findings.count_at_least(Severity::Warning) > 0 {
+                    if !json {
+                        print!("{}", findings.render_text());
+                    }
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("repolint: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     let allowlist = allowlist.unwrap_or_else(|| root.join("repolint.allow"));
     match lint(&root, &LintConfig::default(), &allowlist) {
@@ -48,6 +83,6 @@ fn main() -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("repolint: {msg}\nusage: repolint [--root DIR] [--allowlist FILE]");
+    eprintln!("repolint: {msg}\nusage: repolint [--root DIR] [--allowlist FILE] [--effects [--json]]");
     ExitCode::from(2)
 }

@@ -22,8 +22,11 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod callgraph;
+pub mod effects;
 pub mod finding;
 pub mod gate;
+pub mod lexer;
 pub mod repolint;
 pub mod selfcheck;
 

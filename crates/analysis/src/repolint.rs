@@ -3,22 +3,22 @@
 //! A lightweight Rust-source scanner enforcing repo invariants clippy
 //! cannot express:
 //!
-//! * **`wallclock`** — no `Instant::now`/`SystemTime` in the seeded /
-//!   deterministic modules (`core::fault`, `core::llm`,
-//!   `core::session`, `lp`, `bdd`): one seed must reproduce one run,
-//!   and wall-clock reads silently break that.
 //! * **`unwrap`** — no `.unwrap()`/`.expect(` in non-test library
 //!   code: pipeline boundaries carry typed errors (`TeError`,
 //!   `ProtocolError`, `LpError`), so a panic is always a policy
 //!   violation, not a convenience.
-//! * **`hashiter`** — no iteration over `HashMap`/`HashSet` in code
-//!   that feeds fault traces, transcripts or validation rows:
-//!   `RandomState` makes iteration order (and float summation order)
-//!   run-dependent.
 //! * **`panicpolicy`** — no `panic!`/`unreachable!`/`todo!`/
 //!   `unimplemented!` in non-test library code, with a per-crate
 //!   exemption for the `bench` binaries (measurement harnesses whose
 //!   declared policy is panic-on-error).
+//!
+//! The determinism invariants this linter used to enforce with
+//! manually maintained per-file lists (no wall-clock reads in seeded
+//! modules, no hash-order iteration feeding deterministic output) are
+//! now proven transitively by the [`crate::effects`] analyzer: every
+//! function reachable from a declared root is checked, so a new module
+//! is covered the moment it is called from one — no registration step
+//! to forget. Run it as `repolint --effects`.
 //!
 //! Violations are [`Finding`]s like Tier A's. A checked-in allowlist
 //! (`repolint.allow`, `rule path max-count` per line) lets existing
@@ -27,24 +27,20 @@
 //! or over-generous entries surface as info findings so the allowlist
 //! only ever shrinks.
 //!
-//! The scanner strips comments, strings and `#[cfg(test)]` regions
-//! before matching, so documentation examples and test code never
-//! count.
+//! The scanner lexes each file through [`crate::lexer`] (comments,
+//! strings and `#[cfg(test)]` regions never match), so documentation
+//! examples and test code never count.
 
 use crate::finding::{AnalysisReport, Finding, Severity};
+use crate::lexer::stripped_text;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Which files each path-scoped rule applies to, and which crates are
-/// exempt from the panic-free policy.
+/// Which crates are exempt from the panic-free policy.
 #[derive(Debug, Clone)]
 pub struct LintConfig {
-    /// Repo-relative path prefixes where wall-clock reads are banned.
-    pub wallclock_files: Vec<String>,
-    /// Repo-relative path prefixes where hash-order iteration is banned.
-    pub hashiter_files: Vec<String>,
     /// Crate directory names whose declared policy allows panics and
     /// unwraps (measurement binaries).
     pub panic_allowed_crates: Vec<String>,
@@ -52,153 +48,8 @@ pub struct LintConfig {
 
 impl Default for LintConfig {
     fn default() -> Self {
-        LintConfig {
-            wallclock_files: vec![
-                "crates/core/src/cache.rs".into(),
-                "crates/core/src/fault.rs".into(),
-                "crates/core/src/harness.rs".into(),
-                "crates/core/src/pool.rs".into(),
-                "crates/core/src/shard.rs".into(),
-                "crates/core/src/llm.rs".into(),
-                "crates/core/src/session.rs".into(),
-                "crates/lp/src/".into(),
-                "crates/bdd/src/".into(),
-            ],
-            hashiter_files: vec![
-                "crates/core/src/cache.rs".into(),
-                "crates/core/src/fault.rs".into(),
-                "crates/core/src/harness.rs".into(),
-                "crates/core/src/pool.rs".into(),
-                "crates/core/src/shard.rs".into(),
-                "crates/core/src/session.rs".into(),
-                "crates/core/src/transcript.rs".into(),
-                "crates/core/src/timeline.rs".into(),
-                "crates/te/src/ncflow.rs".into(),
-            ],
-            panic_allowed_crates: vec!["bench".into()],
-        }
+        LintConfig { panic_allowed_crates: vec!["bench".into()] }
     }
-}
-
-/// Replace comments, string literals and char literals with spaces,
-/// preserving line structure, so pattern matching only ever sees code.
-fn strip_non_code(src: &str) -> String {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut state = State::Code;
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        let next = b.get(i + 1).copied();
-        match state {
-            State::Code => match c {
-                '/' if next == Some('/') => {
-                    state = State::LineComment;
-                    out.push(' ');
-                }
-                '/' if next == Some('*') => {
-                    state = State::BlockComment(1);
-                    out.push(' ');
-                }
-                '"' => {
-                    state = State::Str;
-                    out.push(' ');
-                }
-                'r' if next == Some('"') || (next == Some('#') && b.get(i + 2) == Some(&'"')) => {
-                    // Raw string r"..." or r#"..."# (one hash is all the
-                    // workspace uses).
-                    let hashes = usize::from(next == Some('#'));
-                    state = State::RawStr(hashes);
-                    out.push(' ');
-                    out.push(' ');
-                    i += 1 + hashes; // consume r, hashes; the quote falls out below
-                    if hashes > 0 {
-                        out.push(' ');
-                    }
-                }
-                '\'' => {
-                    // Char literal ('x', '\n') vs lifetime ('a in &'a T):
-                    // a literal closes with a quote within two chars.
-                    let is_char = matches!(
-                        (next, b.get(i + 2), b.get(i + 3)),
-                        (Some('\\'), _, _) | (Some(_), Some('\''), _)
-                    );
-                    if is_char {
-                        state = State::Char;
-                    }
-                    out.push(if is_char { ' ' } else { '\'' });
-                }
-                _ => out.push(c),
-            },
-            State::LineComment => {
-                if c == '\n' {
-                    state = State::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            State::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
-                    out.push(' ');
-                    out.push(' ');
-                    i += 1;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    out.push(' ');
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    out.push(' ');
-                    if next.is_some() {
-                        out.push(' ');
-                        i += 1;
-                    }
-                } else {
-                    if c == '"' {
-                        state = State::Code;
-                    }
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                }
-            }
-            State::RawStr(hashes) => {
-                let closes = c == '"'
-                    && (0..hashes).all(|h| b.get(i + 1 + h) == Some(&'#'));
-                if closes {
-                    state = State::Code;
-                    for _ in 0..=hashes {
-                        out.push(' ');
-                    }
-                    i += hashes;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                }
-            }
-            State::Char => {
-                if c == '\'' {
-                    state = State::Code;
-                }
-                out.push(' ');
-            }
-        }
-        i += 1;
-    }
-    out
 }
 
 /// Mark which (0-based) lines fall inside a `#[cfg(test)]` item, by
@@ -232,94 +83,20 @@ fn test_region_mask(stripped: &str) -> Vec<bool> {
     mask
 }
 
-/// Identifiers bound to `HashMap`/`HashSet` values in this (stripped)
-/// file: `let [mut] name = HashMap::new()`, `let [mut] name: HashMap<`
-/// and struct fields `name: HashMap<`.
-fn hash_bound_idents(stripped: &str) -> Vec<String> {
-    let mut idents = Vec::new();
-    for line in stripped.lines() {
-        if !line.contains("HashMap") && !line.contains("HashSet") {
-            continue;
-        }
-        // `let [mut] name` binding on the same line.
-        if let Some(pos) = line.find("let ") {
-            let rest = line[pos + 4..].trim_start();
-            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
-            let ident: String =
-                rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
-            if !ident.is_empty() {
-                idents.push(ident);
-                continue;
-            }
-        }
-        // `name: HashMap<` / `name: HashSet<` (field or typed binding).
-        for ty in ["HashMap<", "HashSet<"] {
-            if let Some(pos) = line.find(ty) {
-                let before = line[..pos].trim_end();
-                if let Some(before) = before.strip_suffix(':') {
-                    let ident: String = before
-                        .chars()
-                        .rev()
-                        .take_while(|c| c.is_alphanumeric() || *c == '_')
-                        .collect::<String>()
-                        .chars()
-                        .rev()
-                        .collect();
-                    if !ident.is_empty() {
-                        idents.push(ident);
-                    }
-                }
-            }
-        }
-    }
-    idents.sort();
-    idents.dedup();
-    idents
-}
-
-/// Does this (stripped) line iterate over `ident` in hash order?
-fn iterates_hash(line: &str, ident: &str) -> bool {
-    for m in
-        [".iter()", ".iter_mut()", ".keys()", ".values()", ".values_mut()", ".into_iter()", ".drain("]
-    {
-        if line.contains(&format!("{ident}{m}")) {
-            return true;
-        }
-    }
-    for pre in ["in &mut ", "in &", "in "] {
-        if let Some(pos) = line.find(&format!("{pre}{ident}")) {
-            let end = pos + pre.len() + ident.len();
-            let boundary = line[end..]
-                .chars()
-                .next()
-                .map(|c| !(c.is_alphanumeric() || c == '_'))
-                .unwrap_or(true);
-            if boundary {
-                return true;
-            }
-        }
-    }
-    false
-}
-
-fn path_matches(rel: &str, prefixes: &[String]) -> bool {
-    prefixes.iter().any(|p| rel == p || (p.ends_with('/') && rel.starts_with(p.as_str())))
-}
-
 fn crate_of(rel: &str) -> Option<&str> {
     rel.strip_prefix("crates/").and_then(|r| r.split('/').next())
 }
 
 /// Scan one file (already read and made repo-relative) for violations.
 fn scan_file(rel: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
-    let stripped = strip_non_code(src);
+    let stripped = stripped_text(src);
     let mask = test_region_mask(&stripped);
-    let hash_idents = hash_bound_idents(&stripped);
     let panics_allowed = crate_of(rel)
         .map(|c| config.panic_allowed_crates.iter().any(|a| a == c))
         .unwrap_or(false);
-    let wallclock = path_matches(rel, &config.wallclock_files);
-    let hashiter = path_matches(rel, &config.hashiter_files);
+    if panics_allowed {
+        return Vec::new();
+    }
 
     let mut out = Vec::new();
     let mut push = |rule: &str, line_no: usize, message: String| {
@@ -335,34 +112,14 @@ fn scan_file(rel: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
         if mask.get(i).copied().unwrap_or(false) {
             continue; // test code is exempt from every rule
         }
-        if wallclock {
-            for pat in ["Instant::now", "SystemTime"] {
-                if line.contains(pat) {
-                    push("wallclock", i, format!("`{pat}` in a seeded/deterministic module"));
-                }
+        for pat in [".unwrap()", ".expect("] {
+            if line.contains(pat) {
+                push("unwrap", i, format!("`{pat}` in non-test library code"));
             }
         }
-        if !panics_allowed {
-            for pat in [".unwrap()", ".expect("] {
-                if line.contains(pat) {
-                    push("unwrap", i, format!("`{pat}` in non-test library code"));
-                }
-            }
-            for pat in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
-                if line.contains(pat) {
-                    push("panicpolicy", i, format!("`{pat}` in non-test library code"));
-                }
-            }
-        }
-        if hashiter {
-            for ident in &hash_idents {
-                if iterates_hash(line, ident) {
-                    push(
-                        "hashiter",
-                        i,
-                        format!("iteration over hash-ordered `{ident}` feeds deterministic output"),
-                    );
-                }
+        for pat in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
+            if line.contains(pat) {
+                push("panicpolicy", i, format!("`{pat}` in non-test library code"));
             }
         }
     }
@@ -543,39 +300,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stripper_removes_comments_strings_and_chars() {
-        let src = r#"let a = "x.unwrap()"; // .expect(
-/* panic!( */ let c = 'x'; let s = b.unwrap();"#;
-        let stripped = strip_non_code(src);
-        assert!(!stripped.contains(".expect("));
-        assert!(!stripped.contains("panic!("));
-        assert!(stripped.contains("b.unwrap()"));
-        assert!(!stripped.contains("\"x.unwrap()\""));
+    fn strings_comments_and_multi_hash_raw_strings_never_match() {
+        // The multi-hash raw string and the `/*/` opener are exactly
+        // the inputs the pre-lexer stripper miscounted (the raw
+        // string's quotes inverted string parity; `/*/` closed itself).
+        let src = "let a = r##\"x.unwrap()\"##; // .expect(\n/*/ panic!( */ let s = b.unwrap();\n";
+        let findings = scan_file("crates/x/src/lib.rs", src, &LintConfig::default());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "repolint/unwrap");
+        assert_eq!(findings[0].subject, "crates/x/src/lib.rs:2");
     }
 
     #[test]
     fn lifetimes_do_not_open_char_literals() {
-        let s = strip_non_code("fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }");
-        assert!(s.contains("x.unwrap()"));
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }\n";
+        let findings = scan_file("crates/x/src/lib.rs", src, &LintConfig::default());
+        assert_eq!(findings.len(), 1, "{findings:?}");
     }
 
     #[test]
     fn test_regions_are_masked() {
         let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn lib2() { c.unwrap(); }\n";
-        let stripped = strip_non_code(src);
+        let stripped = stripped_text(src);
         let mask = test_region_mask(&stripped);
         assert_eq!(mask, vec![false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn hash_idents_are_harvested_and_iteration_flagged() {
-        let src = "let mut key_min: HashMap<(usize, usize), f64> = HashMap::new();\nlet x: f64 = key_min.values().sum();\nfor k in &key_min { }\nlet fine = vec.iter();\n";
-        let idents = hash_bound_idents(src);
-        assert_eq!(idents, vec!["key_min".to_string()]);
-        assert!(iterates_hash("key_min.values().sum()", "key_min"));
-        assert!(iterates_hash("for k in &key_min {", "key_min"));
-        assert!(!iterates_hash("let fine = vec.iter();", "key_min"));
-        assert!(!iterates_hash("key_min.get(&k)", "key_min"));
+        let findings = scan_file("crates/x/src/lib.rs", src, &LintConfig::default());
+        assert_eq!(findings.len(), 2, "lib + lib2 only: {findings:?}");
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Effect-engine self-tests: the analyzer against a fixture
+//! mini-workspace with known leaks (golden JSON pinned), and against
+//! the real workspace with the real root budgets — the same invocation
+//! CI runs.
+
+use analysis::effects::{analyze, Effect, EffectConfig, EffectSet, RootSpec};
+use analysis::Severity;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/effectsrepo")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+fn fixture_config() -> EffectConfig {
+    let root = |path: &str, budget: &[Effect], note: &str| RootSpec {
+        path: path.to_string(),
+        budget: EffectSet::of(budget),
+        note: note.to_string(),
+    };
+    EffectConfig {
+        roots: vec![
+            root("alpha::run", &[Effect::SeededRng], "fixture driver"),
+            root("alpha::emit", &[], "fixture emitter"),
+        ],
+        inventory: EffectSet::of(&[
+            Effect::SeededRng,
+            Effect::Wallclock,
+            Effect::UnorderedIter,
+            Effect::GlobalState,
+        ]),
+        inventory_skip_crates: Vec::new(),
+    }
+}
+
+#[test]
+fn fixture_report_matches_golden_json() {
+    let report = analyze(&fixture_root(), &fixture_config()).expect("analyze fixture");
+    let got = report.render_json();
+    let golden_path = fixture_root().join("golden.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect(
+        "golden.json missing — run with UPDATE_GOLDEN=1 to (re)generate",
+    );
+    assert_eq!(got, want, "effects JSON drifted; rerun with UPDATE_GOLDEN=1 and review the diff");
+}
+
+#[test]
+fn violation_chains_name_root_and_offender() {
+    let report = analyze(&fixture_root(), &fixture_config()).expect("analyze fixture");
+
+    // alpha::run leaks Wallclock through beta::tick.
+    let run = report.roots.iter().find(|r| r.root == "alpha::run").expect("run root");
+    assert_eq!(run.matched, vec!["alpha::run".to_string()]);
+    let wall: Vec<_> =
+        run.violations.iter().filter(|v| v.effect == Effect::Wallclock).collect();
+    assert_eq!(wall.len(), 1, "{:?}", run.violations);
+    assert_eq!(wall[0].chain, vec!["alpha::run".to_string(), "beta::tick".to_string()]);
+    assert!(wall[0].source.contains("Instant::now"), "{}", wall[0].source);
+
+    // alpha::emit (Pure budget) leaks hash-order iteration.
+    let emit = report.roots.iter().find(|r| r.root == "alpha::emit").expect("emit root");
+    let iter: Vec<_> =
+        emit.violations.iter().filter(|v| v.effect == Effect::UnorderedIter).collect();
+    assert_eq!(iter.len(), 1, "{:?}", emit.violations);
+    assert_eq!(
+        iter[0].chain,
+        vec!["alpha::emit".to_string(), "alpha::leak_order".to_string()]
+    );
+}
+
+#[test]
+fn allowance_masks_callers_but_not_inventory() {
+    let report = analyze(&fixture_root(), &fixture_config()).expect("analyze fixture");
+
+    // beta::memo_push's GlobalState is declared, so alpha::run stays
+    // clean of it — no GlobalState violation despite the Mutex.
+    let run = report.roots.iter().find(|r| r.root == "alpha::run").expect("run root");
+    assert!(
+        run.violations.iter().all(|v| v.effect != Effect::GlobalState),
+        "{:?}",
+        run.violations
+    );
+    let memo = report
+        .allowances
+        .iter()
+        .find(|a| a.function == "beta::memo_push")
+        .expect("memo_push allowance");
+    assert!(memo.effects.contains(Effect::GlobalState));
+    assert!(memo.stale.is_empty(), "lock() is really there: {:?}", memo.stale);
+
+    // The intrinsic still shows up in the reviewable inventory.
+    let gs = report.inventory.get("GlobalState").expect("GlobalState inventory");
+    assert!(gs.iter().any(|line| line.contains("beta::memo_push")), "{gs:?}");
+}
+
+#[test]
+fn stale_allowance_is_a_warning_finding() {
+    let report = analyze(&fixture_root(), &fixture_config()).expect("analyze fixture");
+    let audited = report
+        .allowances
+        .iter()
+        .find(|a| a.function == "beta::audited_pure")
+        .expect("audited_pure allowance");
+    assert!(audited.stale.contains(Effect::Wallclock), "{:?}", audited.stale);
+    let findings = report.findings();
+    assert!(
+        findings
+            .findings
+            .iter()
+            .any(|f| f.rule == "effectallow"
+                && f.severity == Severity::Warning
+                && f.subject.contains("audited_pure")),
+        "{}",
+        findings.render_text()
+    );
+}
+
+#[test]
+fn unmatched_root_is_an_error_finding() {
+    let mut cfg = fixture_config();
+    cfg.roots.push(RootSpec {
+        path: "alpha::renamed_away".into(),
+        budget: EffectSet::of(&[]),
+        note: "a rename must not silently drop enforcement".into(),
+    });
+    let report = analyze(&fixture_root(), &cfg).expect("analyze fixture");
+    let findings = report.findings();
+    assert!(
+        findings
+            .findings
+            .iter()
+            .any(|f| f.rule == "effectroot"
+                && f.severity == Severity::Error
+                && f.subject.contains("renamed_away")),
+        "{}",
+        findings.render_text()
+    );
+}
+
+#[test]
+fn real_workspace_execute_cell_is_seeded_deterministic() {
+    // The acceptance criterion: on the real workspace, every declared
+    // root holds its budget — in particular execute_cell's transitive
+    // closure proves out at Pure|SeededRng — with zero findings (no
+    // undeclared effects, no stale allowances, no unmatched roots).
+    let report = analyze(&workspace_root(), &EffectConfig::workspace_default())
+        .expect("analyze workspace");
+    let findings = report.findings();
+    assert_eq!(
+        findings.count_at_least(Severity::Warning),
+        0,
+        "{}\n{}",
+        report.render_text(),
+        findings.render_text()
+    );
+    let cell = report
+        .roots
+        .iter()
+        .find(|r| r.root.ends_with("execute_cell"))
+        .expect("execute_cell root");
+    assert!(!cell.matched.is_empty(), "execute_cell not found in the workspace");
+    assert!(cell.violations.is_empty(), "{:?}", cell.violations);
+    assert!(
+        cell.effects.minus(EffectSet::of(&[Effect::SeededRng])).is_empty(),
+        "execute_cell must be Pure|SeededRng, got {}",
+        cell.effects.label()
+    );
+}

@@ -1,0 +1,45 @@
+//! Fixture root crate: the functions the effect engine's test roots
+//! point at. Scanned, never compiled.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Seeded driver: within a `SeededRng` budget except for the
+/// wall-clock leak it picks up through `beta::tick`.
+pub fn run(seed: u64) -> u64 {
+    let salt = seed_stream(seed);
+    let t = beta::tick();
+    beta::memo_push(t);
+    salt ^ t
+}
+
+/// Derives a value from a seeded stream (intrinsic `SeededRng`).
+pub fn seed_stream(seed: u64) -> u64 {
+    let _rng = StdRng::seed_from_u64(seed);
+    seed.wrapping_mul(0x9e37_79b9)
+}
+
+/// Emits pairs in hash order — the `UnorderedIter` leak.
+pub fn leak_order() -> Vec<(u32, u32)> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let mut out = Vec::new();
+    for (k, v) in m.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+/// A "deterministic output" path that forgot to sort.
+pub fn emit() -> Vec<(u32, u32)> {
+    leak_order()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_never_counts() {
+        panic!("effects in test regions are invisible");
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture leaf crate: clocks, a memo behind an audited boundary, and
+//! a stale allowance. Scanned by the effect engine's tests — never
+//! compiled.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A process-wide memo the audited boundary guards.
+pub static CACHE: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Milliseconds since `origin` — an undeclared wall-clock read.
+pub fn now_ms(origin: Instant) -> u64 {
+    origin.elapsed().as_millis() as u64
+}
+
+/// Ticks once; leaks `Wallclock` transitively to every caller.
+pub fn tick() -> u64 {
+    now_ms(Instant::now())
+}
+
+// effect-allow(GlobalState): fixture memo — single lock, total order.
+/// Records a value in the shared cache (audited boundary).
+pub fn memo_push(v: u64) {
+    if let Ok(mut cache) = CACHE.lock() {
+        cache.push(v);
+    }
+}
+
+// effect-allow(Wallclock): stale — nothing below reads the clock.
+/// A pure helper whose allowance no longer matches reality.
+pub fn audited_pure(x: u64) -> u64 {
+    x + 1
+}

@@ -1,15 +1,19 @@
 //! Fixture: a "deterministic" module that breaks every rule.
+//!
+//! The wall-clock read and hash-order iteration below are no longer
+//! pattern-scanner rules — the effects analyzer proves them reachable
+//! (or not) from declared roots — so only the `.unwrap()` counts here.
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 pub fn trace() -> Vec<(u32, f64)> {
-    let started = Instant::now(); // wallclock violation
+    let started = Instant::now(); // Wallclock effect
     let mut ledger: HashMap<u32, f64> = HashMap::new();
     ledger.insert(1, started.elapsed().as_secs_f64());
     let mut out = Vec::new();
     for (k, v) in ledger.iter() {
-        // hashiter violation
+        // UnorderedIter effect
         out.push((*k, *v));
     }
     out

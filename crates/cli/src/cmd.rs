@@ -451,7 +451,29 @@ pub fn validate(a: &Args) -> CmdResult {
 /// anything. `--stage raw` audits what the LLM first produced,
 /// `--stage final` audits what the session shipped after debugging.
 /// Exit is non-zero when findings reach `--fail-on` (default: error).
+/// `--effects` instead runs the workspace determinism analyzer (the
+/// same engine as `repolint --effects`) on `--root` (default `.`).
 pub fn analyze(a: &Args) -> CmdResult {
+    if a.has("effects") {
+        let root = std::path::PathBuf::from(a.get("root").unwrap_or("."));
+        let report =
+            analysis::effects::analyze(&root, &analysis::effects::EffectConfig::workspace_default())
+                .map_err(|e| ArgError(format!("effects scan failed: {e}")))?;
+        if a.has("json") {
+            print!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        let findings = report.findings();
+        let n = findings.count_at_least(Severity::Warning);
+        if n > 0 {
+            if !a.has("json") {
+                print!("{}", findings.render_text());
+            }
+            return Err(ArgError(format!("{n} effect finding(s)")));
+        }
+        return Ok(());
+    }
     if a.has("self-check") {
         let stats = analysis::selfcheck::self_check(8).map_err(ArgError)?;
         println!(

@@ -1151,6 +1151,8 @@ impl Sweep {
     }
 
     /// Run one attempt under panic isolation and the step deadline.
+    // effect-allow(Panic): injected-crash simulation — the panic is
+    // raised and caught inside this function's own catch_unwind.
     fn run_attempt(
         &self,
         cell: CellId,

@@ -31,9 +31,10 @@
 //!   report are byte-identical to a single-process serial run — for
 //!   any shard count, any worker count, and any crash/resume history.
 //!
-//! This module is registered in the repolint wallclock/hashiter banned
-//! lists: no wall-clock reads (shard stalls sleep in the CLI layer,
-//! never here) and only ordered containers (`BTreeMap`/`BTreeSet`).
+//! The effects analyzer (`repolint --effects`) proves this module's
+//! determinism transitively via the `core::shard::merge` root: no
+//! wall-clock reads (shard stalls sleep in the CLI layer, never here)
+//! and only ordered containers (`BTreeMap`/`BTreeSet`).
 
 use crate::fault::{FaultKind, FaultPlan, FaultSite};
 use crate::harness::{

@@ -97,7 +97,9 @@ fn sample(dist: &[(u32, f64)], rng: &mut StdRng) -> u32 {
             return v;
         }
     }
-    dist.last().unwrap().0
+    // Accumulated probabilities can fall just short of 1.0; the last
+    // bucket absorbs the remainder. An empty distribution yields 0.
+    dist.last().map_or(0, |&(v, _)| v)
 }
 
 /// Generate the corpus for both venues, 2013–2022.

@@ -190,7 +190,17 @@ impl ApVerifier {
     /// compares across BDD engine profiles (JDD vs JavaBDD stand-ins).
     pub fn build(net: &Network, profile: EngineProfile) -> Self {
         let m = net.layout.manager(profile);
-        Self::build_in(m, net).expect("uncapped manager cannot exhaust its node table")
+        Self::build_in(m, net).unwrap_or_else(|_| {
+            // Unreachable with an uncapped manager; degrade to an empty
+            // verifier (single TRUE atom, no tables) rather than unwind.
+            ApVerifier {
+                manager: net.layout.manager(profile),
+                atoms: AtomicPredicates { atoms: vec![TRUE] },
+                tables: vec![Vec::new(); net.graph.num_nodes()],
+                num_predicates: 0,
+                edge_endpoints: Vec::new(),
+            }
+        })
     }
 
     /// Like [`ApVerifier::build`], but with a soft node-table cap: the

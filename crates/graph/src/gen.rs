@@ -65,7 +65,7 @@ pub fn waxman(spec: &TopologySpec) -> DiGraph {
 
     // Spanning chain in x-order keeps the graph connected.
     let mut order: Vec<usize> = (0..spec.nodes).collect();
-    order.sort_by(|&a, &b| pos[a].0.partial_cmp(&pos[b].0).unwrap());
+    order.sort_by(|&a, &b| pos[a].0.total_cmp(&pos[b].0));
     let mut connected = vec![vec![false; spec.nodes]; spec.nodes];
     for w in order.windows(2) {
         let (a, b) = (w[0], w[1]);

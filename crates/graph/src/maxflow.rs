@@ -72,10 +72,12 @@ impl MaxFlow {
         let mut q = VecDeque::new();
         q.push_back(s);
         while let Some(u) = q.pop_front() {
+            // Queued nodes always carry a level; skip defensively if not.
+            let Some(du) = level[u] else { continue };
             for &ai in &self.head[u] {
                 let a = &self.arcs[ai];
                 if a.cap > 1e-12 && level[a.to].is_none() {
-                    level[a.to] = Some(level[u].unwrap() + 1);
+                    level[a.to] = Some(du + 1);
                     q.push_back(a.to);
                 }
             }

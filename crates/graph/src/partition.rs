@@ -57,10 +57,12 @@ pub fn partition(g: &DiGraph, k: usize) -> Partition {
         let dist = multi_source_bfs(g, &seeds);
         // The node farthest from every current seed (unreached nodes are
         // infinitely far: pick them first to cover disconnected parts).
-        let far = (0..n)
+        let Some(far) = (0..n)
             .max_by_key(|&i| dist[i].unwrap_or(u32::MAX))
             .map(|i| NodeId(i as u32))
-            .unwrap();
+        else {
+            break; // n == 0 is handled above; defensive
+        };
         if seeds.contains(&far) {
             break; // graph smaller than k distinct regions
         }
@@ -106,7 +108,8 @@ fn multi_source_bfs(g: &DiGraph, sources: &[NodeId]) -> Vec<Option<u32>> {
         q.push_back(s);
     }
     while let Some(u) = q.pop_front() {
-        let du = dist[u.index()].unwrap();
+        // Queued nodes always carry a distance; skip defensively if not.
+        let Some(du) = dist[u.index()] else { continue };
         for v in g.successors(u) {
             if dist[v.index()].is_none() {
                 dist[v.index()] = Some(du + 1);

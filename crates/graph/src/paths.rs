@@ -178,7 +178,7 @@ pub fn k_shortest_paths(g: &DiGraph, src: NodeId, dst: NodeId, k: usize) -> Vec<
     let mut candidates: Vec<Path> = Vec::new();
 
     while result.len() < k {
-        let last = result.last().unwrap().clone();
+        let Some(last) = result.last().cloned() else { break };
         let last_nodes = last.nodes(g);
         for i in 0..last.edges.len() {
             let spur_node = last_nodes[i];

@@ -110,6 +110,8 @@ impl SolveCache {
     }
 
     /// Replay the cached outcome for `key`, if present.
+    // effect-allow(GlobalState): memoization + relaxed stat counters —
+    // solvers are deterministic, so a hit replays the cold-run outcome.
     pub fn lookup(&self, key: u64) -> Option<Result<Solution, LpError>> {
         let map = self.map.lock().unwrap_or_else(|p| p.into_inner());
         match map.get(&key) {
@@ -125,22 +127,27 @@ impl SolveCache {
     }
 
     /// Record the outcome of a fresh solve.
+    // effect-allow(GlobalState): memoization — keyed by the model
+    // fingerprint, idempotent for deterministic solvers.
     pub fn insert(&self, key: u64, outcome: Result<Solution, LpError>) {
         let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
         map.insert(key, outcome);
     }
 
     /// Lookups that found an entry.
+    // effect-allow(GlobalState): observability-only relaxed counter.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that missed.
+    // effect-allow(GlobalState): observability-only relaxed counter.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Distinct models cached so far.
+    // effect-allow(GlobalState): observability-only cache size probe.
     pub fn len(&self) -> usize {
         self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
     }

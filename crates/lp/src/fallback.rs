@@ -71,6 +71,8 @@ impl<P: LpSolver, F: LpSolver> FallbackSolver<P, F> {
 }
 
 impl<P: LpSolver, F: LpSolver> LpSolver for FallbackSolver<P, F> {
+    // effect-allow(GlobalState): observability-only relaxed counters;
+    // the solve outcome depends only on `problem`.
     fn solve(&self, problem: &Problem) -> Result<Solution, LpError> {
         self.attempts.fetch_add(1, Ordering::Relaxed);
         let keyed = self.cache.as_ref().map(|c| (c, problem.fingerprint()));

@@ -30,7 +30,7 @@ use crate::mcf::{build_tunnels, TeInstance};
 use crate::TeError;
 use netrepro_graph::EdgeId;
 use netrepro_lp::{LpSolver, Problem, Sense, Status, VarId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 /// Which formulation to solve (see module docs).
@@ -79,9 +79,9 @@ pub struct ArrowSolution {
 impl ArrowInstance {
     /// Expand the cut set of a scenario to include reverse edges (both
     /// directions of a fiber fail together).
-    fn full_cut(&self, s: &FailureScenario) -> HashSet<EdgeId> {
+    fn full_cut(&self, s: &FailureScenario) -> BTreeSet<EdgeId> {
         let g = &self.te.graph;
-        let mut out = HashSet::new();
+        let mut out = BTreeSet::new();
         for &e in &s.cut {
             out.insert(e);
             let (a, b) = g.endpoints(e);
@@ -113,7 +113,10 @@ pub fn solve_arrow(
         .collect();
 
     // Scenario 0 is "no failure": the nominal allocation must also work.
-    let mut scenario_cuts: Vec<HashSet<EdgeId>> = vec![HashSet::new()];
+    // BTreeSet, not HashSet: the cut is *iterated* below — the f64
+    // budget sum and the LP restoration-variable order must not depend
+    // on hash order.
+    let mut scenario_cuts: Vec<BTreeSet<EdgeId>> = vec![BTreeSet::new()];
     for s in &inst.scenarios {
         scenario_cuts.push(inst.full_cut(s));
     }
