@@ -264,6 +264,33 @@ impl EffectConfig {
                     &[],
                     "node numbering must be reproducible across runs",
                 ),
+                root(
+                    "serve::sched::Scheduler::submit",
+                    &[GlobalState],
+                    "admission is a pure decision over locked state; its ledger write-ahead \
+                     goes through the storage boundary's audited Io allows",
+                ),
+                root(
+                    "serve::sched::Scheduler::worker_loop",
+                    &[SeededRng, GlobalState, Panic],
+                    "scheduling (locks, condvars, poison-job catch_unwind) around seeded cell \
+                     execution; wall-clock reads here would skew fairness and resume",
+                ),
+                root(
+                    "serve::sched::Scheduler::recover",
+                    &[GlobalState],
+                    "restart must rebuild state purely from ledger + journal bytes",
+                ),
+                root(
+                    "serve::ledger::parse_ledger",
+                    &[],
+                    "ledger replay is pure parse; any effect here breaks crash recovery",
+                ),
+                root(
+                    "serve::spec::JobSpec::parse",
+                    &[],
+                    "a spec token must deterministically build the same SweepConfig as the CLI",
+                ),
             ],
             inventory: EffectSet::of(&[SeededRng, Wallclock, UnorderedIter, GlobalState]),
             inventory_skip_crates: vec!["bench".to_string()],

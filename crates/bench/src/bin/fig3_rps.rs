@@ -36,9 +36,8 @@ fn main() {
     let server = RpsServer::bind("127.0.0.1:0").expect("bind");
     let addr = server.local_addr().expect("addr");
     let server_thread = std::thread::spawn(move || {
-        let handles = server.serve_connections(1).expect("accept");
-        for h in handles {
-            h.join().expect("join").expect("serve");
+        for r in server.serve_connections(1).expect("accept") {
+            r.expect("serve");
         }
     });
 

@@ -52,6 +52,11 @@ commands:
             --seq N --start A --end B --journal PATH [--generation G]
   bench     [--quick] [--json] [--out FILE] [--check BASELINE.json]
   rps       serve [--addr H:P] | play [--addr H:P] [--moves RPSR...]
+  serve     [--addr H:P] [--dir DIR] [--workers N] [--queue-cap N] [--tenant-quota N]
+            [--job-breaker N] [--quantum N] [--throttle-ms MS] [--no-cache]
+  submit    [--addr H:P] [--tenant T] [--nonce N] [--wait] [--out FILE] [--clock N]
+            [sweep matrix/limit flags | --spec TOKEN]
+            | --status ID | --results ID | --cancel ID | --health | --drain
 ";
 
 type CmdResult = Result<(), ArgError>;
@@ -1531,4 +1536,203 @@ pub fn rps(a: &Args) -> CmdResult {
         }
         _ => Err(ArgError("rps needs a mode: serve|play".into())),
     }
+}
+
+/// The daemon's per-job runtime, wired exactly like the one-shot
+/// sweep's (same gate, and the one warm memo shared across every
+/// request) — the CLI-side half of the determinism contract: a job
+/// submitted over the wire runs through the identical pipeline as
+/// `netrepro sweep`, so its journal bytes cannot depend on the path.
+fn serve_factory(cache: bool) -> netrepro_serve::RuntimeFactory {
+    let memo = if cache { Some(CellMemo::shared()) } else { None };
+    std::sync::Arc::new(move |config: &SweepConfig| {
+        let mut runtime = Sweep::new(config.clone()).with_gate(Box::new(|spec, arts| {
+            let (report, _) = analysis::gate::gate_artifacts(spec, arts);
+            analysis::gate::static_gate(&report)
+        }));
+        if let Some(memo) = &memo {
+            runtime = runtime.with_cache(std::sync::Arc::clone(memo));
+        }
+        runtime
+    })
+}
+
+/// `netrepro serve` — the persistent, multi-tenant sweep daemon.
+/// Recovers its write-ahead ledger from `--dir` on startup (resuming
+/// any job that was in flight when the last process died), then
+/// accepts job verbs over TCP. There is no signal handler (the
+/// workspace forbids unsafe code): stop it with SIGKILL/SIGTERM —
+/// the ledger makes that safe — or drain it first via
+/// `netrepro submit --drain`.
+/// [`JobStorage`](netrepro_serve::JobStorage) wrapper that sleeps
+/// after every journal append — the same crash-window widener as
+/// `sweep --throttle-ms`, so the kill/resume CI job can SIGKILL the
+/// daemon reliably mid-matrix. Pacing never touches the bytes.
+struct ThrottledStorage {
+    inner: netrepro_serve::FileStorage,
+    throttle_ms: u64,
+}
+
+struct ThrottledSink {
+    inner: Box<dyn JournalSink + Send>,
+    throttle_ms: u64,
+}
+
+impl JournalSink for ThrottledSink {
+    fn append(&mut self, line: &str) -> Result<(), String> {
+        self.inner.append(line)?;
+        std::thread::sleep(std::time::Duration::from_millis(self.throttle_ms));
+        Ok(())
+    }
+}
+
+impl netrepro_serve::JobStorage for ThrottledStorage {
+    fn ledger_load(&self) -> Result<String, String> {
+        self.inner.ledger_load()
+    }
+
+    fn ledger_truncate(&self, valid_bytes: u64) -> Result<(), String> {
+        self.inner.ledger_truncate(valid_bytes)
+    }
+
+    fn ledger_append(&self, line: &str) -> Result<(), String> {
+        self.inner.ledger_append(line)
+    }
+
+    fn journal_load(&self, job: u64) -> Result<String, String> {
+        self.inner.journal_load(job)
+    }
+
+    fn journal_truncate(&self, job: u64, valid_bytes: u64) -> Result<(), String> {
+        self.inner.journal_truncate(job, valid_bytes)
+    }
+
+    fn journal_sink(&self, job: u64) -> Result<Box<dyn JournalSink + Send>, String> {
+        let inner = self.inner.journal_sink(job)?;
+        Ok(Box::new(ThrottledSink { inner, throttle_ms: self.throttle_ms }))
+    }
+}
+
+pub fn serve(a: &Args) -> CmdResult {
+    let addr = a.get("addr").unwrap_or("127.0.0.1:4545").to_string();
+    let dir = a.get("dir").unwrap_or("results/serve");
+    let defaults = netrepro_serve::SchedConfig::default();
+    let cfg = netrepro_serve::SchedConfig {
+        workers: sweep_workers_from(a)?,
+        queue_cap: a.get_or("queue-cap", defaults.queue_cap)?,
+        tenant_quota: a.get_or("tenant-quota", defaults.tenant_quota)?,
+        breaker_threshold: a.get_or("job-breaker", defaults.breaker_threshold)?,
+        quantum: a.get_or("quantum", defaults.quantum)?,
+    };
+    let file_storage = netrepro_serve::FileStorage::open(dir).map_err(ArgError)?;
+    let throttle_ms: u64 = a.get_or("throttle-ms", 0)?;
+    let storage: std::sync::Arc<dyn netrepro_serve::JobStorage> = if throttle_ms > 0 {
+        std::sync::Arc::new(ThrottledStorage { inner: file_storage, throttle_ms })
+    } else {
+        std::sync::Arc::new(file_storage)
+    };
+    let factory = serve_factory(!a.has("no-cache"));
+    let sched = std::sync::Arc::new(
+        netrepro_serve::Scheduler::recover(cfg, factory, storage).map_err(ArgError)?,
+    );
+    let (queued, running, done) = sched.health();
+    let _workers = sched.start_workers();
+    let daemon = netrepro_serve::Daemon::bind(&addr[..], sched).map_err(ArgError)?;
+    println!(
+        "serving sweep jobs on {addr} (state in {dir}; recovered {queued} queued, \
+         {running} running, {done} finished)"
+    );
+    daemon.serve_forever().map_err(ArgError)
+}
+
+/// Render one wire response for humans.
+fn print_job_response(resp: &netrepro_rps::JobResponse) {
+    print!("{}", resp.wire());
+}
+
+/// `netrepro submit` — client side of the job protocol. By default
+/// submits one sweep job built from the same matrix flags as
+/// `netrepro sweep` (or a raw `--spec` token) and prints the job id;
+/// `--wait` polls until the job is terminal and fetches the report.
+/// The control verbs (`--status`, `--results`, `--cancel`,
+/// `--health`, `--drain`) talk to a running daemon without
+/// submitting anything.
+pub fn submit(a: &Args) -> CmdResult {
+    let addr = a.get("addr").unwrap_or("127.0.0.1:4545");
+    let mut client = netrepro_serve::JobClient::connect(addr)
+        .map_err(|e| ArgError(format!("connect {addr}: {e}")))?;
+    let wire_err = |e: netrepro_rps::ProtocolError| ArgError(e.to_string());
+
+    if a.has("status") {
+        print_job_response(&client.status(a.require("status")?).map_err(wire_err)?);
+        return Ok(());
+    }
+    if a.has("cancel") {
+        print_job_response(&client.cancel(a.require("cancel")?).map_err(wire_err)?);
+        return Ok(());
+    }
+    if a.has("health") {
+        print_job_response(&client.health().map_err(wire_err)?);
+        return Ok(());
+    }
+    if a.has("drain") {
+        print_job_response(&client.drain().map_err(wire_err)?);
+        return Ok(());
+    }
+    if a.has("results") {
+        let id = a.require("results")?;
+        return match client.results(id).map_err(wire_err)? {
+            Ok(payload) => emit_job_report(a, &payload),
+            Err(other) => Err(ArgError(format!("job {id} has no results yet: {}", other.wire().trim_end()))),
+        };
+    }
+
+    let tenant = a.get("tenant").unwrap_or("cli");
+    let nonce: u64 = a.get_or("nonce", 0)?;
+    let spec_token = match a.get("spec") {
+        Some(s) => s.to_string(),
+        None => {
+            let config = sweep_config_from(a)?;
+            let clock_limit: u64 = a.get_or("clock", 0)?;
+            netrepro_serve::JobSpec { config, clock_limit }.wire()
+        }
+    };
+    let id = match client.submit(tenant, nonce, &spec_token).map_err(wire_err)? {
+        netrepro_rps::JobResponse::Accepted(id) => id,
+        other => return Err(ArgError(format!("daemon refused the job: {}", other.wire().trim_end()))),
+    };
+    eprintln!("job {id} accepted (tenant {tenant}, nonce {nonce})");
+    if !a.has("wait") {
+        println!("{id}");
+        return Ok(());
+    }
+    loop {
+        match client.status(id).map_err(wire_err)? {
+            netrepro_rps::JobResponse::State { state, journaled, total, .. } => {
+                if state == netrepro_rps::JobState::Done {
+                    eprintln!("job {id} done ({journaled}/{total} cells)");
+                    break;
+                }
+                if !state.is_live() {
+                    return Err(ArgError(format!("job {id} ended {}", state.wire())));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            other => return Err(ArgError(format!("bad status reply: {}", other.wire().trim_end()))),
+        }
+    }
+    match client.results(id).map_err(wire_err)? {
+        Ok(payload) => emit_job_report(a, &payload),
+        Err(other) => Err(ArgError(format!("results refused: {}", other.wire().trim_end()))),
+    }
+}
+
+/// `--out`/stdout tail for a fetched report payload (already JSON).
+fn emit_job_report(a: &Args, payload: &str) -> CmdResult {
+    if let Some(out) = a.get("out") {
+        std::fs::write(out, payload).map_err(|e| ArgError(format!("{out}: {e}")))?;
+        return Ok(());
+    }
+    println!("{payload}");
+    Ok(())
 }

@@ -18,6 +18,12 @@
 //!                   [--json] [--out FILE] [--halt-after K] [--throttle-ms MS] [--no-cache]
 //! netrepro bench    [--quick] [--json] [--out FILE] [--check BASELINE.json]
 //! netrepro rps      serve [--addr HOST:PORT] | play [--addr HOST:PORT] [--moves RPS...]
+//! netrepro serve    [--addr HOST:PORT] [--dir DIR] [--workers N] [--queue-cap N]
+//!                   [--tenant-quota N] [--job-breaker N] [--quantum N]
+//!                   [--throttle-ms MS] [--no-cache]
+//! netrepro submit   [--addr HOST:PORT] [--tenant T] [--nonce N] [--wait] [--out FILE]
+//!                   [sweep matrix flags | --spec TOKEN]
+//!                   | --status ID | --results ID | --cancel ID | --health | --drain
 //! ```
 //!
 //! Every command is seeded and prints plain text; exit status is
@@ -47,6 +53,8 @@ fn main() {
         Some("sweep-shard") => cmd::sweep_shard(&a),
         Some("bench") => cmd::bench(&a),
         Some("rps") => cmd::rps(&a),
+        Some("serve") => cmd::serve(&a),
+        Some("submit") => cmd::submit(&a),
         Some(other) => Err(args::ArgError(format!("unknown command '{other}'\n{}", cmd::USAGE))),
         None => Err(args::ArgError(cmd::USAGE.to_string())),
     };

@@ -586,3 +586,142 @@ fn sweep_rejects_unknown_system() {
     assert!(stderr.contains("--systems"), "{stderr}");
     assert!(stderr.contains("quantum"), "{stderr}");
 }
+
+// ---------------------------------------------------------------- serve
+
+/// Kill-on-drop guard so a failing assertion never leaks a daemon.
+struct DaemonGuard(std::process::Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Reserve a local port (bind :0, read it back, release it).
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("probe bind")
+        .local_addr()
+        .expect("probe addr")
+        .port()
+}
+
+/// Spawn `netrepro serve` on `addr` with state in `dir` and wait until
+/// it accepts connections.
+fn spawn_daemon(addr: &str, dir: &str) -> DaemonGuard {
+    let child = Command::new(env!("CARGO_BIN_EXE_netrepro"))
+        .args(["serve", "--addr", addr, "--dir", dir, "--workers", "2"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let guard = DaemonGuard(child);
+    for _ in 0..200 {
+        if std::net::TcpStream::connect(addr).is_ok() {
+            return guard;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("daemon on {addr} never came up");
+}
+
+#[test]
+fn serve_submit_wait_matches_one_shot_sweep_bytes() {
+    let matrix: &[&str] =
+        &["--systems", "rps", "--styles", "text", "--seeds", "2", "--profiles", "none,chaos"];
+    // One-shot baseline.
+    let journal = scratch("serve-baseline.jsonl");
+    let baseline_out = scratch("serve-baseline.json");
+    let (_, _, ok) = run(&[
+        &["sweep"],
+        matrix,
+        &["--json", "--journal", journal.as_str(), "--out", baseline_out.as_str()],
+    ]
+    .concat());
+    assert!(ok, "baseline sweep failed");
+
+    // The same matrix through the daemon.
+    let addr = format!("127.0.0.1:{}", free_port());
+    let dir = scratch("serve-state-a");
+    let _daemon = spawn_daemon(&addr, &dir);
+    let report_out = scratch("serve-report.json");
+    let (_, stderr, ok) = run(&[
+        &["submit", "--addr", addr.as_str(), "--tenant", "alice", "--nonce", "1"],
+        matrix,
+        &["--wait", "--out", report_out.as_str()],
+    ]
+    .concat());
+    assert!(ok, "submit --wait failed: {stderr}");
+
+    let baseline_journal = std::fs::read_to_string(&journal).expect("baseline journal");
+    let served_journal =
+        std::fs::read_to_string(format!("{dir}/job-1.jsonl")).expect("served journal");
+    assert_eq!(served_journal, baseline_journal, "daemon journal differs from one-shot sweep");
+    let baseline_report = std::fs::read_to_string(&baseline_out).expect("baseline report");
+    let served_report = std::fs::read_to_string(&report_out).expect("served report");
+    assert_eq!(served_report, baseline_report, "daemon report differs from one-shot sweep");
+}
+
+#[test]
+fn serve_sigkill_restart_resumes_byte_identically() {
+    let matrix: &[&str] = &[
+        "--systems", "ncflow,rps", "--styles", "text", "--seeds", "2", "--profiles", "none,heavy",
+    ];
+    let journal = scratch("serve-kill-baseline.jsonl");
+    let (_, _, ok) =
+        run(&[&["sweep"], matrix, &["--json", "--journal", journal.as_str()]].concat());
+    assert!(ok, "baseline sweep failed");
+
+    let dir = scratch("serve-state-kill");
+    let addr = format!("127.0.0.1:{}", free_port());
+    let daemon = spawn_daemon(&addr, &dir);
+    // Fire-and-forget submit, then SIGKILL the daemon mid-job.
+    let (_, stderr, ok) = run(&[
+        &["submit", "--addr", addr.as_str(), "--tenant", "alice", "--nonce", "7"],
+        matrix,
+    ]
+    .concat());
+    assert!(ok, "submit failed: {stderr}");
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    drop(daemon); // SIGKILL — no drain, no warning
+
+    // Restart over the same state directory; the ledger re-queues the
+    // job. A retried submit with the same (tenant, nonce) must dedup
+    // onto the original id, and --wait rides it to completion.
+    let addr2 = format!("127.0.0.1:{}", free_port());
+    let _daemon2 = spawn_daemon(&addr2, &dir);
+    let (stdout, stderr, ok) = run(&[
+        &["submit", "--addr", addr2.as_str(), "--tenant", "alice", "--nonce", "7"],
+        matrix,
+        &["--wait"],
+    ]
+    .concat());
+    assert!(ok, "post-restart submit --wait failed: {stderr}");
+    assert!(stderr.contains("job 1 accepted"), "nonce dedup must return the original id: {stderr}");
+    assert!(!stdout.is_empty(), "report payload expected on stdout");
+
+    let baseline_journal = std::fs::read_to_string(&journal).expect("baseline journal");
+    let served_journal =
+        std::fs::read_to_string(format!("{dir}/job-1.jsonl")).expect("served journal");
+    assert_eq!(
+        served_journal, baseline_journal,
+        "journal after SIGKILL + restart differs from one-shot sweep"
+    );
+}
+
+#[test]
+fn submit_health_and_bad_spec_are_typed() {
+    let addr = format!("127.0.0.1:{}", free_port());
+    let dir = scratch("serve-state-health");
+    let _daemon = spawn_daemon(&addr, &dir);
+    let (stdout, _, ok) = run(&["submit", "--addr", &addr, "--health"]);
+    assert!(ok);
+    assert!(stdout.starts_with("HEALTH "), "{stdout}");
+    let (_, stderr, ok) = run(&[
+        "submit", "--addr", &addr, "--tenant", "a", "--nonce", "1", "--spec", "colour=blue",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("refused"), "{stderr}");
+}

@@ -788,6 +788,20 @@ pub struct BreakerEntry {
     pub tripped: bool,
 }
 
+/// Progress of one bounded, job-scoped slice ([`Sweep::run_slice`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStep {
+    /// Cells journaled after the slice (the committed prefix).
+    pub journaled: u64,
+    /// Matrix size.
+    pub total: u64,
+    /// Virtual clock after the last committed cell — the serve
+    /// daemon's deadline currency (never wall time).
+    pub clock: u64,
+    /// The assembled report, present once every cell is journaled.
+    pub report: Option<SweepReport>,
+}
+
 /// The sweep's final, journal-reconstructible output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
@@ -1034,6 +1048,70 @@ impl Sweep {
             }
         }
         Ok(self.assemble(records, clock))
+    }
+
+    /// Job-scoped entry point for long-lived callers (the serve
+    /// daemon): replay `replay`, execute at most `budget` further
+    /// cells serially — each one write-ahead journaled like
+    /// [`Sweep::run_from`] — then stop and report progress.
+    ///
+    /// Because [`Sweep::execute_cell`] is a pure function of the cell
+    /// id and supervision state (virtual clock, breaker counts) is
+    /// rebuilt from the committed prefix on every call, a journal
+    /// grown slice by slice — across scheduler turns, interleaved
+    /// tenants, or daemon restarts — is byte-identical to one written
+    /// by a single uninterrupted run. The slice size is therefore pure
+    /// scheduling policy: it can never change a journal byte.
+    pub fn run_slice(
+        &self,
+        replay: &Replay,
+        sink: &mut dyn JournalSink,
+        budget: u64,
+    ) -> Result<JobStep, String> {
+        install_quiet_hook();
+        let cells = self.config.expand();
+        if replay.records.len() > cells.len() {
+            return Err(format!(
+                "replay has {} records but the matrix has {} cells",
+                replay.records.len(),
+                cells.len()
+            ));
+        }
+        if !replay.has_header {
+            let header = JournalHeader {
+                version: JOURNAL_VERSION,
+                fingerprint: self.config.fingerprint(),
+                total_cells: cells.len() as u64,
+                cache: crate::cache::SCHEME.to_string(),
+            };
+            sink.append(&json_line(&header)?)?;
+        }
+        let mut records = Vec::with_capacity(cells.len());
+        records.extend_from_slice(&replay.records);
+        let mut clock = records.last().map_or(0, |r| r.clock_end);
+        let mut breaker: BTreeMap<String, u32> = BTreeMap::new();
+        for r in &records {
+            if r.status == CellStatus::Quarantined {
+                *breaker.entry(r.cell.class()).or_insert(0) += 1;
+            }
+        }
+        let start = records.len();
+        let stop = cells.len().min(start.saturating_add(budget as usize));
+        for (i, &cell) in cells.iter().enumerate().take(stop).skip(start) {
+            let work = if self.breaker_tripped(&breaker, cell) {
+                None
+            } else {
+                Some(self.execute_cell(cell))
+            };
+            let record = self.commit_cell(cell, work, &mut clock, &mut breaker);
+            let line = CellLine { index: i as u64, record };
+            sink.append(&json_line(&line)?)?;
+            records.push(line.record);
+        }
+        let journaled = records.len() as u64;
+        let total = cells.len() as u64;
+        let report = if journaled == total { Some(self.assemble(records, clock)) } else { None };
+        Ok(JobStep { journaled, total, clock, report })
     }
 
     /// Whether `cell`'s class has tripped its circuit breaker.

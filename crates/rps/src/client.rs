@@ -6,6 +6,20 @@ use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Ceiling on a single reconnect backoff sleep. The schedule is the
+/// same capped-exponential shape as the sweep harness's
+/// `TaskLimits::backoff` (`min(base << attempt, cap)`), in wall-time
+/// units (this crate deliberately has no dependency on the harness).
+pub const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// The capped-exponential backoff schedule: `min(base * 2^attempt,
+/// cap)`, with the same overflow guard as `TaskLimits::backoff`
+/// (attempts past the doubling range saturate at `cap`).
+pub fn backoff_delay(base: Duration, cap: Duration, attempt: u32) -> Duration {
+    let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+    base.saturating_mul(factor).min(cap)
+}
+
 /// One round's result from the client's perspective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundResult {
@@ -34,25 +48,40 @@ impl RpsClient {
         Ok(RpsClient { writer, reader: BufReader::new(stream) })
     }
 
-    /// Connect, retrying with exponential backoff: after a failed
-    /// attempt the client sleeps `base`, then `2*base`, `4*base`, …
-    /// for up to `retries` additional attempts. This is the absorption
-    /// path for a server that is still coming up (or was restarted
-    /// under the fault injector).
+    /// Connect, retrying with capped exponential backoff: after a
+    /// failed attempt the client sleeps [`backoff_delay`]`(base,
+    /// BACKOFF_CAP, attempt)` — `base`, `2*base`, `4*base`, … up to
+    /// [`BACKOFF_CAP`] — for up to `retries` additional attempts.
+    /// This is the absorption path for a server that is still coming
+    /// up (or was restarted under the fault injector).
     pub fn connect_with_backoff(
         addr: impl ToSocketAddrs + Clone,
         retries: u32,
         base: Duration,
     ) -> Result<RpsClient, ProtocolError> {
-        let mut delay = base;
+        Self::connect_with_backoff_observed(addr, retries, base, |_, _| {})
+    }
+
+    /// [`connect_with_backoff`](Self::connect_with_backoff) with an
+    /// observer called before each sleep with `(attempt, delay)`.
+    /// Tests use it to assert the schedule by *counting attempts*
+    /// instead of timing sleeps, and to bring a server up after a
+    /// chosen number of failures.
+    pub fn connect_with_backoff_observed(
+        addr: impl ToSocketAddrs + Clone,
+        retries: u32,
+        base: Duration,
+        mut observe: impl FnMut(u32, Duration),
+    ) -> Result<RpsClient, ProtocolError> {
         let mut attempt = 0;
         loop {
             match Self::connect(addr.clone()) {
                 Ok(c) => return Ok(c),
                 Err(e) if attempt >= retries => return Err(e),
                 Err(_) => {
+                    let delay = backoff_delay(base, BACKOFF_CAP, attempt);
+                    observe(attempt, delay);
                     std::thread::sleep(delay);
-                    delay = delay.saturating_mul(2);
                     attempt += 1;
                 }
             }
@@ -118,9 +147,8 @@ mod tests {
         let server = RpsServer::bind("127.0.0.1:0").unwrap();
         let addr = server.local_addr().unwrap();
         let t = std::thread::spawn(move || {
-            let hs = server.serve_connections(1).unwrap();
-            for h in hs {
-                h.join().unwrap().unwrap();
+            for r in server.serve_connections(1).unwrap() {
+                r.unwrap();
             }
         });
         f(addr);
@@ -196,5 +224,57 @@ mod tests {
             let c = RpsClient::connect_with_backoff(addr, 3, Duration::from_millis(10)).unwrap();
             assert_eq!(c.disconnect().unwrap(), 0);
         });
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_exponential() {
+        // Pure schedule check — no sockets, no sleeping, no wallclock.
+        // Mirrors the harness's TaskLimits defaults (base 8, cap 64)
+        // in nanosecond units: 8, 16, 32, 64, then pinned at the cap.
+        let base = Duration::from_nanos(8);
+        let cap = Duration::from_nanos(64);
+        let schedule: Vec<u64> =
+            (0..6).map(|a| backoff_delay(base, cap, a).as_nanos() as u64).collect();
+        assert_eq!(schedule, [8, 16, 32, 64, 64, 64]);
+        // The overflow guard: attempts past the doubling range
+        // saturate at the cap instead of wrapping.
+        assert_eq!(backoff_delay(base, cap, 63), cap);
+        assert_eq!(backoff_delay(base, cap, u32::MAX), cap);
+    }
+
+    #[test]
+    fn backoff_connects_when_the_server_comes_up_late() {
+        // Grab an ephemeral port, release it, and only re-bind it once
+        // the client has already failed N times. The observer counts
+        // attempts (no elapsed-time assertions) and records the delay
+        // schedule the client actually used.
+        const LATE: u32 = 2; // listener appears after the 3rd failure
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let base = Duration::from_millis(5);
+        let mut observed: Vec<(u32, Duration)> = Vec::new();
+        let mut late_listener = None;
+        let c = RpsClient::connect_with_backoff_observed(dead, 5, base, |attempt, delay| {
+            observed.push((attempt, delay));
+            if attempt == LATE && late_listener.is_none() {
+                // A connect() against a bound listener succeeds even
+                // before accept(), so binding here is enough.
+                late_listener = Some(TcpListener::bind(dead).unwrap());
+            }
+        })
+        .unwrap();
+        drop(c);
+        assert!(late_listener.is_some());
+        // Exactly LATE+1 failed attempts, each with the capped-
+        // exponential delay from the shared schedule.
+        let expect: Vec<(u32, Duration)> =
+            (0..=LATE).map(|a| (a, backoff_delay(base, BACKOFF_CAP, a))).collect();
+        assert_eq!(observed, expect);
+        assert_eq!(
+            observed.iter().map(|(_, d)| d.as_millis() as u64).collect::<Vec<_>>(),
+            [5, 10, 20]
+        );
     }
 }

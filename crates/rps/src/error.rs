@@ -15,6 +15,14 @@ use std::io;
 /// bound — a peer streaming an endless line can no longer pin memory.
 pub const MAX_FRAME: usize = 256;
 
+/// Maximum accepted frame length for the job-service verbs
+/// (`SUBMIT`/`STATUS`/…): a job spec carries a whole matrix
+/// description, so the cap is wider than the game's, but still a hard
+/// bound — an over-long submission is rejected as
+/// [`ProtocolError::Oversized`], which the daemon reports as the
+/// typed `payload-too-large` admission rejection.
+pub const MAX_JOB_FRAME: usize = 4096;
+
 /// Everything that can go wrong on the RPS wire.
 #[derive(Debug)]
 pub enum ProtocolError {
@@ -90,6 +98,15 @@ impl std::error::Error for ProtocolError {
 /// rest of the line is *not* drained — the caller should drop the
 /// connection), and [`ProtocolError::Malformed`] on invalid UTF-8.
 pub(crate) fn read_frame(reader: &mut impl io::BufRead) -> Result<Option<String>, ProtocolError> {
+    read_frame_capped(reader, MAX_FRAME)
+}
+
+/// [`read_frame`] with an explicit cap — the job-service listener
+/// reads with [`MAX_JOB_FRAME`], the game with [`MAX_FRAME`].
+pub(crate) fn read_frame_capped(
+    reader: &mut impl io::BufRead,
+    cap: usize,
+) -> Result<Option<String>, ProtocolError> {
     let mut frame: Vec<u8> = Vec::new();
     loop {
         let (consumed, done) = {
@@ -112,8 +129,8 @@ pub(crate) fn read_frame(reader: &mut impl io::BufRead) -> Result<Option<String>
             }
         };
         reader.consume(consumed);
-        if frame.len() > MAX_FRAME {
-            return Err(ProtocolError::Oversized { len: frame.len(), cap: MAX_FRAME });
+        if frame.len() > cap {
+            return Err(ProtocolError::Oversized { len: frame.len(), cap });
         }
         if done {
             break;

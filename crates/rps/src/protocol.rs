@@ -93,6 +93,16 @@ impl Outcome {
     }
 }
 
+/// Encodability check for fields that must occupy one wire token:
+/// `Some(s)` when `s` is non-empty and whitespace-free, else `None`.
+pub(crate) fn no_space(s: &str) -> Option<&str> {
+    if !s.is_empty() && !s.chars().any(|c| c.is_whitespace()) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Request {

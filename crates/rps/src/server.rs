@@ -4,8 +4,14 @@ use crate::error::{read_frame, ProtocolError};
 use crate::protocol::{Move, Request, Response};
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Ceiling on the per-connection read deadline inside
+/// [`RpsServer::serve_connections`]. Even when no explicit timeout is
+/// armed, a client that connects and then wedges is dropped after
+/// this long, so it can pin only its own handler thread — never the
+/// whole batch.
+pub const SERVE_READ_TIMEOUT_CAP: Duration = Duration::from_secs(30);
 
 /// A bound server. Accept loops run on demand via
 /// [`RpsServer::serve_connections`] (tests, examples) or
@@ -34,19 +40,31 @@ impl RpsServer {
         self.listener.local_addr()
     }
 
-    /// Accept exactly `n` connections, each on its own thread, then
-    /// return the join handles. Each handle yields the rounds played.
-    pub fn serve_connections(
-        &self,
-        n: usize,
-    ) -> io::Result<Vec<JoinHandle<Result<u64, ProtocolError>>>> {
-        let mut handles = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (stream, _) = self.listener.accept()?;
-            let timeout = self.read_timeout;
-            handles.push(std::thread::spawn(move || handle_connection(stream, timeout)));
-        }
-        Ok(handles)
+    /// Accept exactly `n` connections and serve them **concurrently**
+    /// on scoped threads, returning each session's result in accept
+    /// order once all have finished. A connection starts being served
+    /// the moment it is accepted — a wedged client occupies only its
+    /// own handler thread (bounded by the armed read timeout, capped
+    /// at [`SERVE_READ_TIMEOUT_CAP`]) and cannot starve the others.
+    pub fn serve_connections(&self, n: usize) -> io::Result<Vec<Result<u64, ProtocolError>>> {
+        let timeout = Some(self.read_timeout.map_or(SERVE_READ_TIMEOUT_CAP, |t| {
+            t.min(SERVE_READ_TIMEOUT_CAP)
+        }));
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (stream, _) = self.listener.accept()?;
+                handles.push(s.spawn(move || handle_connection(stream, timeout)));
+            }
+            Ok(handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ProtocolError::Io(io::Error::other("connection handler panicked")))
+                    })
+                })
+                .collect())
+        })
     }
 
     /// Accept connections until the process dies.
@@ -134,10 +152,10 @@ mod tests {
             let reader = BufReader::new(stream);
             reader.lines().map(|l| l.unwrap()).collect::<Vec<_>>()
         });
-        let h = server.serve_connections(1).unwrap();
+        let results = server.serve_connections(1).unwrap();
         let out = client.join().unwrap();
-        for handle in h {
-            handle.join().unwrap().unwrap();
+        for r in results {
+            r.unwrap();
         }
         out
     }
@@ -179,9 +197,9 @@ mod tests {
             let reader = BufReader::new(stream);
             reader.lines().map_while(Result::ok).collect::<Vec<_>>()
         });
-        let h = server.serve_connections(1).unwrap();
+        let results = server.serve_connections(1).unwrap();
         let out = client.join().unwrap();
-        let res = h.into_iter().next().unwrap().join().unwrap();
+        let res = results.into_iter().next().unwrap();
         assert!(matches!(res, Err(ProtocolError::Oversized { .. })), "got {res:?}");
         assert!(out.iter().any(|l| l.starts_with("ERR")), "client must see the ERR: {out:?}");
     }
@@ -196,9 +214,51 @@ mod tests {
             std::thread::sleep(Duration::from_millis(300));
             drop(stream);
         });
-        let h = server.serve_connections(1).unwrap();
-        let res = h.into_iter().next().unwrap().join().unwrap();
+        let results = server.serve_connections(1).unwrap();
+        let res = results.into_iter().next().unwrap();
         assert!(matches!(res, Err(ProtocolError::Timeout)), "got {res:?}");
         client.join().unwrap();
+    }
+
+    #[test]
+    fn wedged_client_does_not_starve_a_concurrent_one() {
+        use crate::client::RpsClient;
+        let mut server = RpsServer::bind("127.0.0.1:0").unwrap();
+        server.set_read_timeout(Some(Duration::from_millis(600)));
+        let addr = server.local_addr().unwrap();
+
+        // Client A connects first and wedges: never sends a byte,
+        // holds the socket open past the server's read deadline.
+        let a = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(900));
+            drop(stream);
+        });
+        // Client B connects second and plays a full session at once.
+        let b = std::thread::spawn(move || {
+            // Let A win the accept race.
+            std::thread::sleep(Duration::from_millis(100));
+            let start = std::time::Instant::now();
+            let mut c = RpsClient::connect(addr).unwrap();
+            let r = c.play(Move::Paper).unwrap();
+            assert_eq!(r.round, 1);
+            assert_eq!(c.disconnect().unwrap(), 1);
+            start.elapsed()
+        });
+
+        let results = server.serve_connections(2).unwrap();
+        let b_elapsed = b.join().unwrap();
+        a.join().unwrap();
+
+        // Accept order: A first (timed out), B second (clean session).
+        assert!(matches!(results[0], Err(ProtocolError::Timeout)), "got {:?}", results[0]);
+        assert!(matches!(results[1], Ok(1)), "got {:?}", results[1]);
+        // B's whole session must finish while A is still wedged; a
+        // sequential server would have made it wait out A's 600ms
+        // read deadline first.
+        assert!(
+            b_elapsed < Duration::from_millis(400),
+            "client B was starved behind the wedged client: {b_elapsed:?}"
+        );
     }
 }

@@ -7,12 +7,17 @@
 //! datagram), and the server tracks per-peer round counters so
 //! interleaved clients each get their own game.
 //!
-//! Datagrams can be dropped, so the client exposes
-//! [`UdpRpsClient::play_with_retry`]: a lost round is retried with
-//! exponential backoff instead of stalling the session. Retries are
-//! safe here because the server treats every `MOVE` as a fresh round —
-//! a duplicate caused by a late-arriving original costs one extra
-//! round, never corrupts state.
+//! Datagrams can be dropped *or duplicated*, so the client exposes
+//! [`UdpRpsClient::play_with_retry`] and tags every `MOVE` with a
+//! per-session nonce (`MOVE R #7`). A retry re-sends the same nonce;
+//! the server remembers the last nonce it answered per peer and
+//! replays the cached reply for a duplicate instead of advancing the
+//! round counter. Without the nonce, a retried datagram whose first
+//! copy *was* delivered (only the reply was lost or late) would be
+//! scored as two rounds — the client would silently skip a server
+//! move and desynchronise its view of the game. Nonce-less `MOVE`s
+//! (the TCP wire form) are still accepted and always score a fresh
+//! round.
 
 use crate::error::{ProtocolError, MAX_FRAME};
 use crate::protocol::{Move, Request, Response};
@@ -21,17 +26,38 @@ use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::Duration;
 
+/// Split a trailing ` #<nonce>` token off a request line. Lines
+/// without one (the TCP wire form) pass through unchanged.
+fn split_nonce(line: &str) -> (&str, Option<u64>) {
+    if let Some((head, tail)) = line.trim_end().rsplit_once(' ') {
+        if let Some(num) = tail.strip_prefix('#') {
+            if let Ok(n) = num.parse() {
+                return (head, Some(n));
+            }
+        }
+    }
+    (line, None)
+}
+
 /// A bound UDP server.
 #[derive(Debug)]
 pub struct UdpRpsServer {
     socket: UdpSocket,
     rounds: HashMap<SocketAddr, u64>,
+    /// Per-peer duplicate-suppression window: the last nonce answered
+    /// and the exact reply sent for it. A re-delivered datagram with
+    /// the same nonce gets this reply again and scores no new round.
+    replays: HashMap<SocketAddr, (u64, String)>,
 }
 
 impl UdpRpsServer {
     /// Bind to `addr` (port 0 for ephemeral).
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<UdpRpsServer> {
-        Ok(UdpRpsServer { socket: UdpSocket::bind(addr)?, rounds: HashMap::new() })
+        Ok(UdpRpsServer {
+            socket: UdpSocket::bind(addr)?,
+            rounds: HashMap::new(),
+            replays: HashMap::new(),
+        })
     }
 
     /// The bound address.
@@ -49,24 +75,44 @@ impl UdpRpsServer {
         for _ in 0..n {
             let (len, peer) = self.socket.recv_from(&mut buf)?;
             let reply = if len > MAX_FRAME {
-                Response::Err("oversized request".into())
+                Response::Err("oversized request".into()).wire()
             } else {
                 let line = String::from_utf8_lossy(&buf[..len]);
-                match Request::parse(&line) {
+                let (line, nonce) = split_nonce(&line);
+                match Request::parse(line) {
                     Some(Request::Play(client_move)) => {
+                        if let (Some(n), Some((last, cached))) = (nonce, self.replays.get(&peer)) {
+                            if n == *last {
+                                // Duplicate delivery of an answered
+                                // round: replay, don't advance.
+                                self.socket.send_to(cached.as_bytes(), peer)?;
+                                continue;
+                            }
+                        }
                         let round = self.rounds.entry(peer).or_insert(0);
                         *round += 1;
                         let server_move = Move::from_index(*round - 1);
-                        Response::Result(client_move, server_move, client_move.against(server_move), *round)
+                        let resp = Response::Result(
+                            client_move,
+                            server_move,
+                            client_move.against(server_move),
+                            *round,
+                        )
+                        .wire();
+                        if let Some(n) = nonce {
+                            self.replays.insert(peer, (n, resp.clone()));
+                        }
+                        resp
                     }
                     Some(Request::Disconnect) => {
                         let played = self.rounds.remove(&peer).unwrap_or(0);
-                        Response::Bye(played)
+                        self.replays.remove(&peer);
+                        Response::Bye(played).wire()
                     }
-                    None => Response::Err("malformed request".into()),
+                    None => Response::Err("malformed request".into()).wire(),
                 }
             };
-            self.socket.send_to(reply.wire().as_bytes(), peer)?;
+            self.socket.send_to(reply.as_bytes(), peer)?;
         }
         Ok(())
     }
@@ -83,6 +129,9 @@ impl UdpRpsServer {
 #[derive(Debug)]
 pub struct UdpRpsClient {
     socket: UdpSocket,
+    /// Monotone per-session nonce; one per *round*, shared by every
+    /// retry of that round so replays are idempotent at the server.
+    nonce: u64,
 }
 
 impl UdpRpsClient {
@@ -91,7 +140,7 @@ impl UdpRpsClient {
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.connect(server)?;
         socket.set_read_timeout(Some(Duration::from_secs(5)))?;
-        Ok(UdpRpsClient { socket })
+        Ok(UdpRpsClient { socket, nonce: 0 })
     }
 
     /// Replace the receive deadline (default 5s).
@@ -100,8 +149,8 @@ impl UdpRpsClient {
         Ok(())
     }
 
-    fn round_trip(&mut self, req: Request) -> Result<Response, ProtocolError> {
-        self.socket.send(req.wire().as_bytes())?;
+    fn round_trip_raw(&mut self, wire: &str) -> Result<Response, ProtocolError> {
+        self.socket.send(wire.as_bytes())?;
         let mut buf = [0u8; MAX_FRAME + 1];
         let len = self.socket.recv(&mut buf)?;
         if len > MAX_FRAME {
@@ -111,9 +160,15 @@ impl UdpRpsClient {
         Response::parse(&line).ok_or(ProtocolError::Malformed(line))
     }
 
-    /// Play one round.
-    pub fn play(&mut self, m: Move) -> Result<crate::client::RoundResult, ProtocolError> {
-        match self.round_trip(Request::Play(m))? {
+    /// Send one nonce-tagged `MOVE` and wait for its `RESULT`. Every
+    /// retry of a round goes through here with the *same* nonce.
+    fn play_nonce(
+        &mut self,
+        m: Move,
+        nonce: u64,
+    ) -> Result<crate::client::RoundResult, ProtocolError> {
+        let wire = format!("MOVE {} #{}\n", m.letter(), nonce);
+        match self.round_trip_raw(&wire)? {
             Response::Result(you, server, outcome, round) => {
                 Ok(crate::client::RoundResult { you, server, outcome, round })
             }
@@ -124,21 +179,33 @@ impl UdpRpsClient {
         }
     }
 
+    /// Play one round.
+    pub fn play(&mut self, m: Move) -> Result<crate::client::RoundResult, ProtocolError> {
+        self.nonce += 1;
+        let nonce = self.nonce;
+        self.play_nonce(m, nonce)
+    }
+
     /// Play one round, absorbing up to `retries` datagram losses: each
     /// timed-out attempt is re-sent after an exponentially growing
     /// receive deadline (`base`, `2*base`, …). Non-timeout errors are
-    /// surfaced immediately.
+    /// surfaced immediately. All attempts carry the same nonce, so a
+    /// retry whose first copy *was* delivered (only the reply went
+    /// missing) replays the answered round instead of scoring a new
+    /// one.
     pub fn play_with_retry(
         &mut self,
         m: Move,
         retries: u32,
         base: Duration,
     ) -> Result<crate::client::RoundResult, ProtocolError> {
+        self.nonce += 1;
+        let nonce = self.nonce;
         let mut deadline = base;
         let mut attempt = 0;
         loop {
             self.set_read_timeout(Some(deadline))?;
-            match self.play(m) {
+            match self.play_nonce(m, nonce) {
                 Err(ProtocolError::Timeout) if attempt < retries => {
                     deadline = deadline.saturating_mul(2);
                     attempt += 1;
@@ -150,7 +217,7 @@ impl UdpRpsClient {
 
     /// End the game; returns rounds played.
     pub fn disconnect(mut self) -> Result<u64, ProtocolError> {
-        match self.round_trip(Request::Disconnect)? {
+        match self.round_trip_raw(&Request::Disconnect.wire())? {
             Response::Bye(n) => Ok(n),
             other => {
                 Err(ProtocolError::Unexpected { got: other.wire().trim().to_string(), expected: "BYE" })
@@ -241,6 +308,81 @@ mod tests {
         let mut c = UdpRpsClient::connect(addr).unwrap();
         let r = c.play_with_retry(Move::Rock, 3, Duration::from_millis(40)).unwrap();
         assert_eq!(r.outcome, Outcome::Draw);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_datagram_replays_the_round_without_advancing() {
+        // Inject a duplicate delivery by hand: the same nonce-tagged
+        // MOVE arrives twice (as when a retry races a late original).
+        let mut server = UdpRpsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.serve_datagrams(4).unwrap());
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.connect(addr).unwrap();
+        let mut buf = [0u8; 128];
+
+        sock.send(b"MOVE R #1\n").unwrap();
+        let len = sock.recv(&mut buf).unwrap();
+        let first = String::from_utf8_lossy(&buf[..len]).into_owned();
+        assert_eq!(first.trim(), "RESULT R R DRAW 1");
+
+        // The duplicate: byte-identical reply, round counter untouched.
+        sock.send(b"MOVE R #1\n").unwrap();
+        let len = sock.recv(&mut buf).unwrap();
+        let dup = String::from_utf8_lossy(&buf[..len]).into_owned();
+        assert_eq!(dup, first, "duplicate must replay the cached reply");
+
+        // A fresh nonce advances to round 2 (server plays Paper).
+        sock.send(b"MOVE P #2\n").unwrap();
+        let len = sock.recv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf[..len]).trim(), "RESULT P P DRAW 2");
+
+        sock.send(b"DISCONNECT\n").unwrap();
+        let len = sock.recv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf[..len]).trim(), "BYE 2");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn retry_reuses_the_nonce_when_the_reply_is_lost() {
+        // The bug scenario: the first copy IS delivered but its reply
+        // goes missing, so the client retries. The retry must carry
+        // the same nonce so the server can recognise the replay.
+        let server_sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = server_sock.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 512];
+            let (len, _peer) = server_sock.recv_from(&mut buf).unwrap();
+            let first = String::from_utf8_lossy(&buf[..len]).into_owned();
+            // Drop the reply (simulated loss), wait for the retry.
+            let (len, peer) = server_sock.recv_from(&mut buf).unwrap();
+            let second = String::from_utf8_lossy(&buf[..len]).into_owned();
+            assert_eq!(first, second, "retry must replay the identical nonce-tagged frame");
+            let reply = Response::Result(Move::Rock, Move::Rock, Outcome::Draw, 1);
+            server_sock.send_to(reply.wire().as_bytes(), peer).unwrap();
+        });
+        let mut c = UdpRpsClient::connect(addr).unwrap();
+        let r = c.play_with_retry(Move::Rock, 3, Duration::from_millis(40)).unwrap();
+        assert_eq!(r.round, 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn nonceless_moves_still_score_fresh_rounds() {
+        // TCP wire form without a nonce: every delivery is a round.
+        let mut server = UdpRpsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let t = std::thread::spawn(move || server.serve_datagrams(2).unwrap());
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.connect(addr).unwrap();
+        let mut buf = [0u8; 128];
+        sock.send(b"MOVE R\n").unwrap();
+        let len = sock.recv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf[..len]).trim(), "RESULT R R DRAW 1");
+        sock.send(b"MOVE R\n").unwrap();
+        let len = sock.recv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8_lossy(&buf[..len]).trim(), "RESULT R P LOSE 2");
         t.join().unwrap();
     }
 

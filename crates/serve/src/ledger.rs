@@ -1,0 +1,191 @@
+//! The write-ahead job ledger: the daemon's durable memory.
+//!
+//! Every admission writes a [`LedgerLine::Submitted`] *before* the
+//! client sees `ACCEPTED`, and every terminal transition writes a
+//! [`LedgerLine::Done`] after the job's journal is flushed — the same
+//! write-ahead discipline as the shard coordinator's lease ledger
+//! (`core::shard`). A SIGKILL'd daemon therefore restarts knowing
+//! exactly which jobs were admitted and which finished; everything in
+//! between resumes from its own journal's valid prefix and re-runs
+//! byte-identically (cells are pure functions of the cell id).
+//!
+//! This module is pure parse/format — all file I/O lives at the
+//! daemon boundary so the effects analyzer can budget these paths
+//! without an `Io` grant.
+
+use serde::{Deserialize, Serialize};
+
+/// Ledger layout version.
+pub const LEDGER_VERSION: u32 = 1;
+
+/// First line of the ledger file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerHeader {
+    /// Layout version ([`LEDGER_VERSION`]).
+    pub version: u32,
+}
+
+impl LedgerHeader {
+    /// The newline-terminated header line.
+    pub fn line() -> Result<String, String> {
+        json_line(&LedgerHeader { version: LEDGER_VERSION })
+    }
+}
+
+/// One ledger record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LedgerLine {
+    /// A job was admitted (written *before* the `ACCEPTED` reply).
+    Submitted {
+        /// Daemon-assigned job id.
+        job: u64,
+        /// Submitting tenant.
+        tenant: String,
+        /// The client's idempotency nonce.
+        nonce: u64,
+        /// The spec token exactly as submitted.
+        spec: String,
+    },
+    /// A job reached a terminal state (written after its journal and
+    /// report were flushed).
+    Done {
+        /// Which job finished.
+        job: u64,
+        /// Terminal [`JobState`](netrepro_rps::JobState) wire name
+        /// (`done`, `failed`, `cancelled`, `deadline`).
+        outcome: String,
+    },
+}
+
+impl LedgerLine {
+    /// The newline-terminated ledger line.
+    pub fn line(&self) -> Result<String, String> {
+        json_line(self)
+    }
+}
+
+/// The replayable prefix of a ledger file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LedgerReplay {
+    /// Records in write order.
+    pub lines: Vec<LedgerLine>,
+    /// Byte length of the valid prefix (everything up to and
+    /// including the last terminated line) — the truncation point
+    /// after a torn tail.
+    pub valid_bytes: u64,
+    /// Whether a torn (unterminated) trailing line was dropped.
+    pub dropped_partial: bool,
+    /// Whether the header line is present and valid.
+    pub has_header: bool,
+}
+
+fn json_line<T: Serialize>(value: &T) -> Result<String, String> {
+    serde_json::to_string(value)
+        .map(|mut s| {
+            s.push('\n');
+            s
+        })
+        .map_err(|e| e.to_string())
+}
+
+/// Parse a ledger file's text. The torn-tail policy mirrors
+/// `core::harness::parse_journal`: an unterminated final line (the
+/// write the crash interrupted) is silently dropped; any *terminated*
+/// line that fails to parse is a hard error — the file is corrupt,
+/// not merely torn.
+pub fn parse_ledger(text: &str) -> Result<LedgerReplay, String> {
+    if text.is_empty() {
+        return Ok(LedgerReplay::default());
+    }
+    let mut parts: Vec<&str> = text.split('\n').collect();
+    // split leaves a final "" for terminated text, or the torn tail.
+    let tail = parts.pop().unwrap_or("");
+    let dropped_partial = !tail.is_empty();
+    let valid_bytes = (text.len() - tail.len()) as u64;
+    let mut lines = Vec::new();
+    let mut has_header = false;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            let header: LedgerHeader = serde_json::from_str(part)
+                .map_err(|e| format!("ledger header: {e}"))?;
+            if header.version != LEDGER_VERSION {
+                return Err(format!(
+                    "ledger version {} (this build writes {LEDGER_VERSION})",
+                    header.version
+                ));
+            }
+            has_header = true;
+            continue;
+        }
+        let line: LedgerLine =
+            serde_json::from_str(part).map_err(|e| format!("ledger line {}: {e}", i + 1))?;
+        lines.push(line);
+    }
+    Ok(LedgerReplay { lines, valid_bytes, dropped_partial, has_header })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let mut text = LedgerHeader::line().unwrap();
+        text.push_str(
+            &LedgerLine::Submitted {
+                job: 1,
+                tenant: "alice".into(),
+                nonce: 7,
+                spec: "seeds=1".into(),
+            }
+            .line()
+            .unwrap(),
+        );
+        text.push_str(&LedgerLine::Done { job: 1, outcome: "done".into() }.line().unwrap());
+        text
+    }
+
+    #[test]
+    fn round_trips() {
+        let replay = parse_ledger(&sample()).unwrap();
+        assert!(replay.has_header);
+        assert!(!replay.dropped_partial);
+        assert_eq!(replay.lines.len(), 2);
+        assert!(matches!(replay.lines[0], LedgerLine::Submitted { job: 1, .. }));
+        assert!(matches!(replay.lines[1], LedgerLine::Done { job: 1, .. }));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let clean = sample();
+        let mut text = clean.clone();
+        text.push_str("{\"Submitted\":{\"job\":2,\"ten"); // the crash
+        let replay = parse_ledger(&text).unwrap();
+        assert!(replay.dropped_partial);
+        assert_eq!(replay.lines.len(), 2, "torn line must not surface");
+        assert_eq!(replay.valid_bytes, clean.len() as u64);
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_a_hard_error() {
+        let sample = sample();
+        let lines: Vec<&str> = sample.lines().collect();
+        let text = format!("{}\nnot json\n{}\n", lines[0], lines[2]);
+        assert!(parse_ledger(&text).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let text = "{\"version\":99}\n";
+        assert!(parse_ledger(text).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn empty_ledger_is_empty() {
+        let replay = parse_ledger("").unwrap();
+        assert!(!replay.has_header);
+        assert!(replay.lines.is_empty());
+    }
+}
