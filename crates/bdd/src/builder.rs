@@ -153,7 +153,7 @@ mod tests {
         for (i, bit) in [true, false, true, false, false, true, true, false].iter().enumerate() {
             assignment[i] = *bit;
         }
-        assert!(m.eval(f, &assignment));
+        assert_eq!(m.eval(f, &assignment), Ok(true));
     }
 
     #[test]
@@ -192,7 +192,7 @@ mod tests {
         let r = m.field_range(0, 6, 10, 20);
         for v in 0u64..64 {
             let bits: Vec<bool> = (0..6).map(|i| (v >> (5 - i)) & 1 == 1).collect();
-            assert_eq!(m.eval(r, &bits), (10..=20).contains(&v), "value {v}");
+            assert_eq!(m.eval(r, &bits), Ok((10..=20).contains(&v)), "value {v}");
         }
     }
 

@@ -58,6 +58,16 @@ pub enum BddError {
     },
     /// A node reference did not denote a live node.
     InvalidRef(Ref),
+    /// An evaluation was given fewer assignment bits than the manager
+    /// has variables. Evaluation must see every variable: a partial
+    /// slice would silently read out of bounds (or, worse, panic) the
+    /// first time the BDD actually branches on a missing variable.
+    AssignmentTooShort {
+        /// Number of assignment bits supplied.
+        got: usize,
+        /// Number of variables the manager requires.
+        need: usize,
+    },
     /// The node table outgrew the manager's configured node cap. The
     /// manager stays usable; callers absorb the fault by raising the
     /// cap (see [`BddManager::set_node_cap`]) and rebuilding, or
@@ -77,6 +87,9 @@ impl std::fmt::Display for BddError {
                 write!(f, "variable {var} out of range (manager has {count} variables)")
             }
             BddError::InvalidRef(r) => write!(f, "invalid BDD reference {r:?}"),
+            BddError::AssignmentTooShort { got, need } => {
+                write!(f, "assignment has {got} bits but the manager has {need} variables")
+            }
             BddError::TableExhausted { nodes, cap } => {
                 write!(f, "BDD node table exhausted: {nodes} nodes exceed cap {cap}")
             }

@@ -88,11 +88,19 @@ impl BddManager {
         }
     }
 
-    /// Like [`BddManager::new`], but with a soft node-table cap:
-    /// operations keep working past the cap (they never abort
-    /// mid-recursion), and [`BddManager::check_capacity`] reports a
-    /// typed [`BddError::TableExhausted`] once the cap is crossed so
-    /// the caller can stop, raise the cap and retry.
+    /// Like [`BddManager::new`], but with a node-table cap enforced in
+    /// two modes:
+    ///
+    /// * the classic infallible ops ([`BddManager::and`] etc.) treat it
+    ///   *softly* — they keep working past the cap and
+    ///   [`BddManager::check_capacity`] reports a typed
+    ///   [`BddError::TableExhausted`] afterwards, so the caller can
+    ///   stop, raise the cap and retry;
+    /// * the `try_*` ops ([`BddManager::try_and`] etc.) enforce it
+    ///   *hard* — the unique table refuses to mint the node that would
+    ///   exceed the cap and the operation returns the typed error
+    ///   immediately, leaving the manager usable (the
+    ///   partitioned-verification budget path).
     pub fn with_node_cap(num_vars: u32, profile: EngineProfile, cap: usize) -> Self {
         let mut m = Self::new(num_vars, profile);
         m.node_cap = Some(cap);
@@ -291,14 +299,95 @@ impl BddManager {
         self.diff(a, b) == FALSE
     }
 
+    /// Capacity-checked conjunction. Unlike [`BddManager::and`], which
+    /// enforces the node cap *softly* (the operation completes and
+    /// [`BddManager::check_capacity`] reports the overrun afterwards),
+    /// the `try_*` family refuses to mint the node that would exceed
+    /// the cap: the unique table never grows past `cap`, the recursion
+    /// unwinds with a typed [`BddError::TableExhausted`], and the
+    /// manager stays fully usable — already-minted subresults are
+    /// ordinary orphans that the next [`BddManager::gc`] reclaims, and
+    /// memo entries written on the way down name real nodes, so a
+    /// retry after [`BddManager::set_node_cap`] resumes where it left
+    /// off. This is the partitioned-verification path: a per-worker
+    /// manager that exhausts its budget mid-merge must surface a typed
+    /// error, not wedge or abort the worker.
+    pub fn try_and(&mut self, a: Ref, b: Ref) -> Result<Ref, crate::BddError> {
+        self.try_binop(Op::And, a, b)
+    }
+
+    /// Capacity-checked disjunction; see [`BddManager::try_and`].
+    pub fn try_or(&mut self, a: Ref, b: Ref) -> Result<Ref, crate::BddError> {
+        self.try_binop(Op::Or, a, b)
+    }
+
+    /// Capacity-checked difference; see [`BddManager::try_and`].
+    pub fn try_diff(&mut self, a: Ref, b: Ref) -> Result<Ref, crate::BddError> {
+        match self.profile {
+            EngineProfile::Cached => self.try_binop(Op::Diff, a, b),
+            EngineProfile::Uncached => {
+                let nb = self.try_not(b)?;
+                self.ref_inc(nb);
+                let r = self.try_binop(Op::And, a, nb);
+                self.ref_dec(nb);
+                r
+            }
+        }
+    }
+
+    /// Capacity-checked exclusive or; see [`BddManager::try_and`].
+    pub fn try_xor(&mut self, a: Ref, b: Ref) -> Result<Ref, crate::BddError> {
+        self.try_binop(Op::Xor, a, b)
+    }
+
+    /// Capacity-checked negation; see [`BddManager::try_and`].
+    pub fn try_not(&mut self, a: Ref) -> Result<Ref, crate::BddError> {
+        let mut local = std::mem::take(&mut self.not_scratch);
+        local.clear();
+        let r = self.not_rec_capped(a.0, &mut local);
+        self.not_scratch = local;
+        r.map(Ref)
+    }
+
+    fn try_binop(&mut self, op: Op, a: Ref, b: Ref) -> Result<Ref, crate::BddError> {
+        let mut local = std::mem::take(&mut self.apply_scratch);
+        local.clear();
+        let r = self.apply_capped(op, a.0, b.0, &mut local);
+        self.apply_scratch = local;
+        r.map(Ref)
+    }
+
+    /// Mint through the unique table, refusing once the configured cap
+    /// is reached (an uncapped manager never refuses).
+    fn mk_checked(&mut self, var: u32, low: u32, high: u32) -> Result<u32, crate::BddError> {
+        match self.node_cap {
+            None => Ok(self.table.mk(var, low, high)),
+            Some(cap) => self
+                .table
+                .mk_capped(var, low, high, cap)
+                .map_err(|nodes| crate::BddError::TableExhausted { nodes, cap }),
+        }
+    }
+
     /// Evaluate the function under a full variable assignment.
-    pub fn eval(&self, r: Ref, assignment: &[bool]) -> bool {
-        assert!(assignment.len() >= self.num_vars as usize);
+    ///
+    /// Returns [`BddError::AssignmentTooShort`] when `assignment` has
+    /// fewer bits than the manager has variables (previously this
+    /// `assert!`ed, which turned a malformed query into a library
+    /// panic — exactly the class of boundary defect the no-panic-in-lib
+    /// policy exists to keep out of the verification hot path).
+    pub fn eval(&self, r: Ref, assignment: &[bool]) -> Result<bool, crate::BddError> {
+        if assignment.len() < self.num_vars as usize {
+            return Err(crate::BddError::AssignmentTooShort {
+                got: assignment.len(),
+                need: self.num_vars as usize,
+            });
+        }
         let mut cur = r.0;
         loop {
             match cur {
-                0 => return false,
-                1 => return true,
+                0 => return Ok(false),
+                1 => return Ok(true),
                 _ => {
                     let (var, low, high) = self.node(cur);
                     cur = if assignment[var as usize] { high } else { low };
@@ -340,6 +429,86 @@ impl BddManager {
             }
         }
         r
+    }
+
+    fn not_rec_capped(
+        &mut self,
+        a: u32,
+        local: &mut FnvMap<u32, u32>,
+    ) -> Result<u32, crate::BddError> {
+        match a {
+            0 => return Ok(1),
+            1 => return Ok(0),
+            _ => {}
+        }
+        if let Some(&r) = self.not_cache.get(&a) {
+            self.stats.apply_hits += 1;
+            return Ok(r);
+        }
+        if let Some(&r) = local.get(&a) {
+            self.stats.apply_hits += 1;
+            return Ok(r);
+        }
+        self.stats.apply_misses += 1;
+        let (var, low, high) = self.node(a);
+        let l = self.not_rec_capped(low, local)?;
+        let h = self.not_rec_capped(high, local)?;
+        let r = if l == h { l } else { self.mk_checked(var, l, h)? };
+        match self.profile {
+            EngineProfile::Cached => {
+                self.not_cache.insert(a, r);
+                self.not_cache.insert(r, a);
+            }
+            EngineProfile::Uncached => {
+                local.insert(a, r);
+            }
+        }
+        Ok(r)
+    }
+
+    fn apply_capped(
+        &mut self,
+        op: Op,
+        a: u32,
+        b: u32,
+        local: &mut FnvMap<(u32, u32), u32>,
+    ) -> Result<u32, crate::BddError> {
+        if let Some(t) = Self::terminal_case(op, a, b) {
+            return Ok(t);
+        }
+        let (ka, kb) = match op {
+            Op::And | Op::Or | Op::Xor => (a.min(b), a.max(b)),
+            Op::Diff => (a, b),
+        };
+        if let Some(&r) = self.op_cache.get(&(op, ka, kb)) {
+            self.stats.apply_hits += 1;
+            return Ok(r);
+        }
+        if let Some(&r) = local.get(&(ka, kb)) {
+            self.stats.apply_hits += 1;
+            return Ok(r);
+        }
+        self.stats.apply_misses += 1;
+
+        let (va, la, ha) = self.node(a);
+        let (vb, lb, hb) = self.node(b);
+        let top = va.min(vb);
+        let (al, ah) = if va == top { (la, ha) } else { (a, a) };
+        let (bl, bh) = if vb == top { (lb, hb) } else { (b, b) };
+
+        let l = self.apply_capped(op, al, bl, local)?;
+        let h = self.apply_capped(op, ah, bh, local)?;
+        let r = if l == h { l } else { self.mk_checked(top, l, h)? };
+
+        match self.profile {
+            EngineProfile::Cached => {
+                self.op_cache.insert((op, ka, kb), r);
+            }
+            EngineProfile::Uncached => {
+                local.insert((ka, kb), r);
+            }
+        }
+        Ok(r)
     }
 
     fn binop(&mut self, op: Op, a: Ref, b: Ref) -> Ref {
@@ -525,9 +694,31 @@ mod tests {
         let a = m.var(0);
         let b = m.var(1);
         let f = m.and(a, b); // a & b
-        assert!(m.eval(f, &[true, true, false, false]));
-        assert!(!m.eval(f, &[true, false, false, false]));
-        assert!(!m.eval(f, &[false, true, false, false]));
+        assert_eq!(m.eval(f, &[true, true, false, false]), Ok(true));
+        assert_eq!(m.eval(f, &[true, false, false, false]), Ok(false));
+        assert_eq!(m.eval(f, &[false, true, false, false]), Ok(false));
+    }
+
+    #[test]
+    fn eval_short_assignment_is_a_typed_error() {
+        let mut m = mgr();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        // Regression: this used to `assert!` (a library panic) instead
+        // of returning an error.
+        assert_eq!(
+            m.eval(f, &[true, true]),
+            Err(crate::BddError::AssignmentTooShort { got: 2, need: 4 })
+        );
+        assert_eq!(
+            m.eval(f, &[]),
+            Err(crate::BddError::AssignmentTooShort { got: 0, need: 4 })
+        );
+        // Exactly num_vars bits is the boundary and must succeed.
+        assert_eq!(m.eval(f, &[true, true, false, false]), Ok(true));
+        // Extra bits beyond num_vars are ignored, not an error.
+        assert_eq!(m.eval(f, &[true, true, false, false, true]), Ok(true));
     }
 
     #[test]
@@ -549,7 +740,7 @@ mod tests {
         m.ref_inc(f);
         m.gc();
         // f must still evaluate correctly after GC.
-        assert!(m.eval(f, &[true, true, false, false]));
+        assert_eq!(m.eval(f, &[true, true, false, false]), Ok(true));
         // Rebuilding the same function after GC yields the same node.
         let a2 = m.var(0);
         let b2 = m.var(1);
@@ -682,6 +873,106 @@ mod tests {
         m.set_node_cap(Some(1 << 20));
         assert!(!m.exhausted());
         assert!(m.check_capacity().is_ok());
+    }
+
+    /// The workload shared by the hard-cap tests: a var chain under
+    /// `try_*` ops ending in the tautology `f ∨ ¬f == TRUE`.
+    fn try_workload(m: &mut BddManager) -> Result<Ref, crate::BddError> {
+        let mut f = TRUE;
+        for i in 0..m.num_vars() {
+            let v = m.var(i);
+            f = m.try_and(f, v)?;
+        }
+        let n = m.try_not(f)?;
+        m.try_or(f, n)
+    }
+
+    #[test]
+    fn try_ops_refuse_before_exceeding_cap() {
+        // Measure the workload's exact node demand on an uncapped manager.
+        let mut probe = BddManager::new(8, EngineProfile::Cached);
+        assert_eq!(try_workload(&mut probe), Ok(TRUE));
+        let need = probe.node_count();
+        assert!(need > 2);
+
+        // cap = need: the whole workload fits and never trips the cap.
+        let mut exact = BddManager::with_node_cap(8, EngineProfile::Cached, need);
+        assert_eq!(try_workload(&mut exact), Ok(TRUE));
+        assert_eq!(exact.node_count(), need);
+        assert!(exact.check_capacity().is_ok());
+
+        // cap = need - 1: the workload must fail with a typed error —
+        // and the table must have refused *before* exceeding the cap,
+        // unlike the soft-cap path which only reports the overrun
+        // after the fact.
+        let cap = need - 1;
+        let mut tight = BddManager::with_node_cap(8, EngineProfile::Cached, cap);
+        match try_workload(&mut tight) {
+            Err(crate::BddError::TableExhausted { nodes, cap: c }) => {
+                assert_eq!(c, cap);
+                assert!(nodes <= cap, "refusal must come before the cap is exceeded");
+            }
+            other => panic!("expected TableExhausted, got {other:?}"),
+        }
+        assert!(
+            tight.node_count() <= cap,
+            "hard cap violated: {} live nodes under cap {cap}",
+            tight.node_count()
+        );
+        // check_capacity (the soft, after-the-fact probe) agrees the
+        // cap was never crossed.
+        assert!(tight.check_capacity().is_ok());
+
+        // Absorption: raise the cap by one and the *same* manager
+        // finishes the workload — nothing was wedged, and the memoised
+        // subresults from the failed attempt are reused.
+        tight.set_node_cap(Some(need));
+        assert_eq!(try_workload(&mut tight), Ok(TRUE));
+        assert_eq!(tight.node_count(), need);
+    }
+
+    #[test]
+    fn manager_stays_usable_after_try_error() {
+        // A tiny cap exhausts quickly…
+        let mut m = BddManager::with_node_cap(8, EngineProfile::Cached, 3);
+        assert!(try_workload(&mut m).is_err());
+        // …but the manager still answers queries over already-built
+        // structure (hash-cons/memo hits allocate nothing)…
+        let a = m.var(0);
+        let b = m.var(1);
+        m.ref_inc(a);
+        m.ref_inc(b);
+        assert_eq!(m.try_and(a, b).map(|r| r == FALSE), Ok(false));
+        // …the orphans from the failed attempt are ordinary garbage…
+        m.gc();
+        assert!(m.node_count() <= 3);
+        // …and capacity-respecting work proceeds afterwards.
+        let a = m.var(0);
+        let b = m.var(1);
+        assert!(m.try_and(a, b).is_ok());
+    }
+
+    #[test]
+    fn try_ops_agree_with_infallible_ops() {
+        let mut m = BddManager::new(6, EngineProfile::Cached);
+        let a = m.var(0);
+        let b = m.var(3);
+        let and = m.and(a, b);
+        let or = m.or(a, b);
+        let diff = m.diff(a, b);
+        let xor = m.xor(a, b);
+        let not = m.not(a);
+        assert_eq!(m.try_and(a, b), Ok(and));
+        assert_eq!(m.try_or(a, b), Ok(or));
+        assert_eq!(m.try_diff(a, b), Ok(diff));
+        assert_eq!(m.try_xor(a, b), Ok(xor));
+        assert_eq!(m.try_not(a), Ok(not));
+
+        let mut u = BddManager::new(6, EngineProfile::Uncached);
+        let a = u.var(0);
+        let b = u.var(3);
+        let diff = u.diff(a, b);
+        assert_eq!(u.try_diff(a, b), Ok(diff), "uncached try_diff composes not+and");
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub(crate) struct NodeTable {
     nodes: Vec<Node>,
     unique: FnvMap<(u32, u32, u32), u32>,
     free: Vec<u32>,
+    /// Live non-terminal node count, maintained incrementally so the
+    /// per-`mk` capacity check in [`NodeTable::mk_capped`] is O(1)
+    /// instead of an O(n) arena scan.
+    live: usize,
 }
 
 impl NodeTable {
@@ -73,6 +77,7 @@ impl NodeTable {
             nodes,
             unique: map_with_capacity(INITIAL_NODES),
             free: Vec::new(),
+            live: 0,
         }
     }
 
@@ -83,6 +88,27 @@ impl NodeTable {
         if let Some(&idx) = self.unique.get(&(var, low, high)) {
             return idx;
         }
+        self.mint(var, low, high)
+    }
+
+    /// Like [`NodeTable::mk`], but refuses to mint a *new* node once
+    /// `cap` live nodes exist. Hash-cons hits always succeed — looking
+    /// up an existing node allocates nothing, so a full table can still
+    /// answer queries over already-built structure. Returns `Err(live)`
+    /// (the current live count) when minting would exceed the cap, and
+    /// leaves the table untouched in that case.
+    pub fn mk_capped(&mut self, var: u32, low: u32, high: u32, cap: usize) -> Result<u32, usize> {
+        debug_assert_ne!(low, high, "reduction rule violated");
+        if let Some(&idx) = self.unique.get(&(var, low, high)) {
+            return Ok(idx);
+        }
+        if self.live >= cap {
+            return Err(self.live);
+        }
+        Ok(self.mint(var, low, high))
+    }
+
+    fn mint(&mut self, var: u32, low: u32, high: u32) -> u32 {
         let node = Node { var, low, high, refs: 0, alive: true };
         let idx = if let Some(idx) = self.free.pop() {
             self.nodes[idx as usize] = node;
@@ -93,6 +119,7 @@ impl NodeTable {
             idx
         };
         self.unique.insert((var, low, high), idx);
+        self.live += 1;
         idx
     }
 
@@ -104,8 +131,17 @@ impl NodeTable {
         &mut self.nodes[idx as usize]
     }
 
-    /// Number of live (reachable-or-not) non-terminal nodes.
+    /// Number of live (reachable-or-not) non-terminal nodes. O(1): the
+    /// count is maintained incrementally by `mk`/`gc` (consistency with
+    /// the arena is locked in by `live_counter_tracks_arena_scan`).
     pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// O(n) arena scan of live non-terminal nodes; test-only oracle for
+    /// the incremental counter.
+    #[cfg(test)]
+    pub fn live_count_scan(&self) -> usize {
         self.nodes.iter().skip(2).filter(|n| n.alive).count()
     }
 
@@ -146,6 +182,7 @@ impl NodeTable {
                 reclaimed += 1;
             }
         }
+        self.live -= reclaimed;
         reclaimed
     }
 }
@@ -191,6 +228,39 @@ mod tests {
         t.get_mut(parent).refs = 1;
         assert_eq!(t.gc(), 0);
         assert!(t.get(child).alive);
+    }
+
+    #[test]
+    fn live_counter_tracks_arena_scan() {
+        let mut t = NodeTable::new();
+        assert_eq!(t.live_count(), t.live_count_scan());
+        let a = t.mk(0, 0, 1);
+        let child = t.mk(2, 0, 1);
+        let _parent = t.mk(1, 0, child);
+        let _dup = t.mk(0, 0, 1); // hash-cons hit must not bump the counter
+        assert_eq!(t.live_count(), 3);
+        assert_eq!(t.live_count(), t.live_count_scan());
+        t.get_mut(a).refs = 1;
+        t.gc();
+        assert_eq!(t.live_count(), t.live_count_scan());
+        let _again = t.mk(2, 0, 1); // reuse a freed slot; counter goes back up
+        assert_eq!(t.live_count(), t.live_count_scan());
+    }
+
+    #[test]
+    fn mk_capped_refuses_before_minting() {
+        let mut t = NodeTable::new();
+        let a = t.mk_capped(0, 0, 1, 2).expect("below cap");
+        let _b = t.mk_capped(1, 0, 1, 2).expect("at cap boundary");
+        // cap reached: a hash-cons hit still succeeds…
+        assert_eq!(t.mk_capped(0, 0, 1, 2), Ok(a));
+        // …but a new node is refused, and nothing was allocated.
+        assert_eq!(t.mk_capped(2, 0, 1, 2), Err(2));
+        assert_eq!(t.live_count(), 2);
+        assert_eq!(t.live_count(), t.live_count_scan());
+        // A higher cap admits the node that was just refused.
+        assert!(t.mk_capped(2, 0, 1, 3).is_ok());
+        assert_eq!(t.live_count(), 3);
     }
 
     #[test]

@@ -110,7 +110,7 @@ mod tests {
         let nb = m.nvar(1);
         let f = m.and(a, nb);
         let w = m.any_sat(f).expect("satisfiable");
-        assert!(m.eval(f, &w));
+        assert_eq!(m.eval(f, &w), Ok(true));
         assert!(w[0]);
         assert!(!w[1]);
     }

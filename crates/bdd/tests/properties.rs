@@ -87,7 +87,7 @@ proptest! {
         let mut m = BddManager::new(VARS, EngineProfile::Cached);
         let f = build(&mut m, &e);
         for a in assignments() {
-            prop_assert_eq!(m.eval(f, &a), eval_direct(&e, &a));
+            prop_assert_eq!(m.eval(f, &a), Ok(eval_direct(&e, &a)));
         }
     }
 
@@ -136,7 +136,7 @@ proptest! {
         match m.any_sat(f) {
             Some(w) => {
                 prop_assert!(brute_sat);
-                prop_assert!(m.eval(f, &w));
+                prop_assert_eq!(m.eval(f, &w), Ok(true));
             }
             None => prop_assert!(!brute_sat),
         }
@@ -150,7 +150,7 @@ proptest! {
         m.ref_inc(f);
         m.gc();
         for a in assignments() {
-            prop_assert_eq!(m.eval(f, &a), eval_direct(&e, &a));
+            prop_assert_eq!(m.eval(f, &a), Ok(eval_direct(&e, &a)));
         }
         // Rebuilding after GC reproduces the identical node.
         let f2 = build(&mut m, &e);

@@ -1,0 +1,68 @@
+//! Criterion bench for the partitioned parallel DPV pipeline: fabric
+//! generation throughput, serial-vs-partitioned verification of whole
+//! fat-trees, and the per-destination cost at a 10k-device scale.
+//!
+//! Every partitioned measurement asserts byte-identity against the
+//! serial verifier first — a timing for a wrong answer is worthless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrepro_core::dpv_scale::{run_spec, DpvScaleSpec};
+use netrepro_dpv::fabric::{build, FabricSpec};
+
+fn bench_fabric_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_gen");
+    g.sample_size(10);
+    for k in [8usize, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("fat_tree_fib", k), &k, |b, &k| {
+            b.iter(|| build(&FabricSpec::new(k, 2023)).network.num_rules())
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify_partitions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpv_scale");
+    g.sample_size(10);
+    let base = DpvScaleSpec { link_down: 6, ..DpvScaleSpec::new(8, 2023) };
+    let serial = run_spec(&base).expect("serial verification");
+    for partitions in [1usize, 2, 4] {
+        let spec = DpvScaleSpec { partitions, workers: partitions, ..base };
+        // The gate: a partitioned run must reproduce the serial bytes.
+        let check = run_spec(&spec).expect("partitioned verification");
+        assert_eq!(
+            check.rendered, serial.rendered,
+            "P={partitions} diverged from the serial verifier"
+        );
+        g.bench_with_input(BenchmarkId::new("k8_full", partitions), &spec, |b, spec| {
+            b.iter(|| run_spec(spec).expect("verification").digest)
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify_10k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpv_scale_10k");
+    g.sample_size(10);
+    // k=64 with hosts is 70,656 devices; a seeded 2-destination sample
+    // keeps the per-iteration cost bounded while still exercising the
+    // full fabric build + per-destination fixpoints.
+    let spec = DpvScaleSpec {
+        link_down: 40,
+        queries: Some(2),
+        partitions: 2,
+        workers: 2,
+        ..DpvScaleSpec::new(64, 7)
+    };
+    let serial = run_spec(&DpvScaleSpec { partitions: 1, workers: 1, ..spec })
+        .expect("serial verification");
+    assert!(serial.devices >= 10_000);
+    let check = run_spec(&spec).expect("partitioned verification");
+    assert_eq!(check.rendered, serial.rendered, "10k-device run diverged from serial");
+    g.bench_function("k64_sampled", |b| {
+        b.iter(|| run_spec(&spec).expect("verification").digest)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fabric_gen, bench_verify_partitions, bench_verify_10k);
+criterion_main!(benches);

@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netrepro_core::fault::FaultProfile;
-use netrepro_core::harness::{parse_journal, MemoryJournal, Sweep, SweepConfig, TaskLimits};
+use netrepro_core::harness::{
+    parse_journal, MemoryJournal, Sweep, SweepConfig, TaskLimits, TopoScale,
+};
 use netrepro_core::paper::TargetSystem;
 use netrepro_core::prompt::PromptStyle;
 
@@ -16,6 +18,7 @@ fn small_config(profile: FaultProfile) -> SweepConfig {
         styles: vec![PromptStyle::ModularText],
         seeds: vec![0, 1],
         profiles: vec![FaultProfile::None, profile],
+        scales: vec![TopoScale::Paper],
         limits: TaskLimits::default(),
     }
 }
@@ -78,6 +81,7 @@ fn wide_config() -> SweepConfig {
         styles: vec![PromptStyle::ModularText, PromptStyle::ModularPseudocode],
         seeds: vec![0, 1],
         profiles: vec![FaultProfile::None, FaultProfile::Chaos],
+        scales: vec![TopoScale::Paper],
         limits: TaskLimits::default(),
     }
 }

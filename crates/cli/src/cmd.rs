@@ -39,12 +39,15 @@ commands:
             [--solver revised|dense] [--ncflow K] [--objective total|concurrent]
   dpv       [--nodes N] [--width W] [--faults F] [--seed N]
             [--check loops|blackholes|reach] [--src A --dst B]
+  dpv-scale [--k K] [--seed N] [--churn L] [--queries Q] [--partitions P]
+            [--workers W] [--node-cap N] [--check-serial] [--out FILE]
+            partitioned parallel fat-tree verification (CI smoke: --check-serial)
   session   [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--auto]
             [--faults none|light|heavy|chaos]
   validate  [--participant a|b|c|d] [--seed N] [--faults none|light|heavy|chaos]
   analyze   [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--style mono|text|pseudo]
             [--stage raw|final] [--json] [--fail-on error|warning|never] [--self-check]
-  sweep     [--systems CSV] [--styles CSV] [--seeds N] [--profiles CSV]
+  sweep     [--systems CSV] [--styles CSV] [--seeds N] [--profiles CSV] [--scales CSV]
             [--journal PATH] [--resume PATH] [--deadline N] [--attempts N] [--breaker N]
             [--workers N] [--shards N] [--max-restarts N] [--json] [--out FILE]
             [--halt-after K] [--throttle-ms MS] [--no-cache]
@@ -240,6 +243,81 @@ pub fn dpv(a: &Args) -> CmdResult {
             );
         }
         other => return Err(ArgError(format!("--check must be loops|blackholes|reach, got '{other}'"))),
+    }
+    Ok(())
+}
+
+/// `netrepro dpv-scale` — partitioned parallel DPV over a seeded k-ary
+/// fat-tree: build the fabric, verify the (sampled) destination set in
+/// `--partitions` chunks on `--workers` pool threads, print the
+/// canonical digest. `--check-serial` re-verifies serially and fails if
+/// the merged verdict stream is not byte-identical — the CI smoke gate.
+pub fn dpv_scale(a: &Args) -> CmdResult {
+    let k: usize = a.get_or("k", 8)?;
+    if !(4..=64).contains(&k) || !k.is_multiple_of(2) || !(k / 2).is_power_of_two() {
+        return Err(ArgError(format!(
+            "--k must be even with k/2 a power of two (4, 8, 16, 32, 64), got {k}"
+        )));
+    }
+    let spec = netrepro_core::dpv_scale::DpvScaleSpec {
+        k,
+        seed: a.get_or("seed", 2023)?,
+        link_down: a.get_or("churn", 0)?,
+        queries: match a.get("queries") {
+            Some(_) => Some(a.require("queries")?),
+            None => None,
+        },
+        partitions: a.get_or("partitions", 4)?,
+        workers: a.get_or("workers", 4)?,
+        node_cap: match a.get("node-cap") {
+            Some(_) => Some(a.require("node-cap")?),
+            None => None,
+        },
+    };
+    let report = netrepro_core::dpv_scale::run_spec(&spec)
+        .map_err(|e| ArgError(format!("dpv-scale: {e}")))?;
+    println!(
+        "fabric: k={} → {} devices; {} destination(s) verified in {} partition(s) on {} worker(s)",
+        spec.k, report.devices, report.queried, spec.partitions, spec.workers
+    );
+    let (mut full, mut bh, mut loops) = (0u64, 0u64, 0u64);
+    for v in &report.verdicts {
+        full += u64::from(v.none == 0 && v.partial == 0);
+        bh += u64::from(v.bh_devices > 0 || v.bh_local > 0);
+        loops += u64::from(!v.loop_devices.is_empty());
+    }
+    println!(
+        "verdicts: {full} fully reachable, {bh} with blackholes, {loops} with loops; digest {:016x}",
+        report.digest
+    );
+    if a.has("check-serial") {
+        let serial = netrepro_core::dpv_scale::run_spec(&netrepro_core::dpv_scale::DpvScaleSpec {
+            partitions: 1,
+            workers: 1,
+            ..spec
+        })
+        .map_err(|e| ArgError(format!("dpv-scale serial check: {e}")))?;
+        if serial.rendered != report.rendered {
+            return Err(ArgError(format!(
+                "partitioned verdicts diverge from serial: {:016x} != {:016x}",
+                report.digest, serial.digest
+            )));
+        }
+        println!(
+            "serial check: byte-identical at P={} W={} vs P=1 W=1",
+            spec.partitions, spec.workers
+        );
+    }
+    if let Some(path) = a.get("out") {
+        let json = format!(
+            "{{\"k\": {}, \"devices\": {}, \"queried\": {}, \"partitions\": {}, \
+             \"workers\": {}, \"link_down\": {}, \"digest\": \"{:016x}\", \
+             \"full\": {full}, \"blackholed\": {bh}, \"looping\": {loops}}}\n",
+            spec.k, report.devices, report.queried, spec.partitions, spec.workers,
+            spec.link_down, report.digest
+        );
+        std::fs::write(path, json).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        println!("wrote {path}");
     }
     Ok(())
 }
@@ -688,6 +766,8 @@ fn sweep_config_from(a: &Args) -> Result<SweepConfig, ArgError> {
         parse_csv(a.get("styles").unwrap_or("text,pseudo"), PromptStyle::parse, "--styles")?;
     let profiles =
         parse_csv(a.get("profiles").unwrap_or("none,heavy"), FaultProfile::parse, "--profiles")?;
+    let scales =
+        parse_csv(a.get("scales").unwrap_or("paper"), harness::TopoScale::parse, "--scales")?;
     let n_seeds: u64 = a.get_or("seeds", 3)?;
     if n_seeds == 0 {
         return Err(ArgError("--seeds must be at least 1".into()));
@@ -700,7 +780,7 @@ fn sweep_config_from(a: &Args) -> Result<SweepConfig, ArgError> {
         backoff_cap: defaults.backoff_cap,
         breaker_threshold: a.get_or("breaker", defaults.breaker_threshold)?,
     };
-    Ok(SweepConfig { systems, styles, seeds: (0..n_seeds).collect(), profiles, limits })
+    Ok(SweepConfig { systems, styles, seeds: (0..n_seeds).collect(), profiles, scales, limits })
 }
 
 /// The sweep's worker count: `--workers N` or the machine default.
@@ -838,6 +918,7 @@ fn child_args(
         "--systems", a.get("systems").unwrap_or("ncflow,arrow,apkeep,ap"),
         "--styles", a.get("styles").unwrap_or("text,pseudo"),
         "--profiles", a.get("profiles").unwrap_or("none,heavy"),
+        "--scales", a.get("scales").unwrap_or("paper"),
         "--seeds", &config.seeds.len().to_string(),
         "--deadline", &config.limits.deadline_steps.to_string(),
         "--attempts", &config.limits.max_attempts.to_string(),
@@ -1163,6 +1244,22 @@ struct ShardBenchRun {
     merge_identical: bool,
 }
 
+/// The partitioned fat-tree DPV bench: serial vs partitioned-parallel
+/// verification throughput on one seeded fabric.
+#[derive(serde::Serialize)]
+struct DpvScaleBench {
+    k: u64,
+    devices: u64,
+    dests: u64,
+    link_down: u64,
+    serial_dests_per_sec: f64,
+    parallel_dests_per_sec: f64,
+    parallel_speedup: f64,
+    /// Deterministic invariant, not a timing: the partitioned verdict
+    /// stream must be byte-identical to the serial one.
+    verdict_identical: bool,
+}
+
 /// The full `netrepro bench` output (`BENCH_6.json`).
 #[derive(serde::Serialize)]
 struct BenchReport {
@@ -1171,6 +1268,7 @@ struct BenchReport {
     cache_scheme: String,
     sections: std::collections::BTreeMap<String, BenchSection>,
     sweep_shards: Vec<ShardBenchRun>,
+    dpv_scale: DpvScaleBench,
     lp: LpBench,
     bdd: BddBench,
 }
@@ -1197,6 +1295,7 @@ fn bench_full_config() -> SweepConfig {
             FaultProfile::Heavy,
             FaultProfile::Chaos,
         ],
+        scales: vec![harness::TopoScale::Paper],
         limits: TaskLimits::default(),
     }
 }
@@ -1210,6 +1309,7 @@ fn bench_quick_config() -> SweepConfig {
         styles: vec![PromptStyle::ModularText],
         seeds: (0..28).collect(),
         profiles: vec![FaultProfile::None, FaultProfile::Heavy],
+        scales: vec![harness::TopoScale::Paper],
         limits: TaskLimits::default(),
     }
 }
@@ -1325,6 +1425,31 @@ fn bench_bdd() -> BddBench {
     BddBench { applies_per_sec: ops as f64 / secs }
 }
 
+/// Partitioned fat-tree DPV: one churned k=8 fabric, all 128 host
+/// destinations, serial vs P=4/W=4 — plus the byte-identity gate the
+/// timing rides on.
+fn bench_dpv_scale() -> Result<DpvScaleBench, ArgError> {
+    use netrepro_core::dpv_scale::{run_spec, DpvScaleSpec};
+    let spec = DpvScaleSpec { link_down: 6, ..DpvScaleSpec::new(8, 2023) };
+    let t0 = std::time::Instant::now();
+    let serial = run_spec(&spec).map_err(|e| ArgError(format!("dpv_scale bench: {e}")))?;
+    let serial_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let par_spec = DpvScaleSpec { partitions: 4, workers: 4, ..spec };
+    let t1 = std::time::Instant::now();
+    let parallel = run_spec(&par_spec).map_err(|e| ArgError(format!("dpv_scale bench: {e}")))?;
+    let par_secs = t1.elapsed().as_secs_f64().max(1e-9);
+    Ok(DpvScaleBench {
+        k: spec.k as u64,
+        devices: serial.devices as u64,
+        dests: serial.queried as u64,
+        link_down: spec.link_down as u64,
+        serial_dests_per_sec: serial.queried as f64 / serial_secs,
+        parallel_dests_per_sec: parallel.queried as f64 / par_secs,
+        parallel_speedup: serial_secs / par_secs,
+        verdict_identical: parallel.rendered == serial.rendered,
+    })
+}
+
 /// Relative closeness for the regression gate's ratio metrics.
 fn within_tolerance(current: f64, baseline: f64, tol: f64) -> bool {
     if baseline.abs() < 1e-12 {
@@ -1374,6 +1499,13 @@ fn bench_check(current: &BenchReport, baseline: &serde_json::Value) -> Result<()
                 run.shards
             ));
         }
+    }
+    // Likewise for the partitioned DPV row: byte-identity to the serial
+    // verifier is an invariant of this run, independent of any baseline.
+    if !current.dpv_scale.verdict_identical {
+        failures.push(
+            "dpv_scale: partitioned verdict stream diverged from the serial verifier".to_string(),
+        );
     }
     let base_lp_hit = baseline["lp"]["hit_rate"].as_f64().unwrap_or(0.0);
     if !within_tolerance(current.lp.hit_rate, base_lp_hit, TOL) {
@@ -1448,6 +1580,7 @@ pub fn bench(a: &Args) -> CmdResult {
         cache_scheme: netrepro_core::cache::SCHEME.to_string(),
         sections,
         sweep_shards,
+        dpv_scale: bench_dpv_scale()?,
         lp: bench_lp()?,
         bdd: bench_bdd(),
     };
@@ -1480,6 +1613,16 @@ pub fn bench(a: &Args) -> CmdResult {
                 r.shards, r.cells_per_sec, r.merge_identical
             );
         }
+        println!(
+            "dpv_scale k={} ({} devices): {:>6.1} dests/s serial, {:>6.1} dests/s at P=4 \
+             ({:.2}x, verdicts identical: {})",
+            report.dpv_scale.k,
+            report.dpv_scale.devices,
+            report.dpv_scale.serial_dests_per_sec,
+            report.dpv_scale.parallel_dests_per_sec,
+            report.dpv_scale.parallel_speedup,
+            report.dpv_scale.verdict_identical
+        );
         println!(
             "lp: {:.0} solves/s cold, {:.0} solves/s cached (hit rate {:.3})",
             report.lp.cold_solves_per_sec, report.lp.cached_solves_per_sec, report.lp.hit_rate

@@ -7,6 +7,8 @@
 //!                   [--solver revised|dense] [--ncflow K] [--objective total|concurrent]
 //! netrepro dpv      [--nodes N] [--width W] [--faults F] [--seed N]
 //!                   [--check loops|blackholes|reach] [--src A --dst B]
+//! netrepro dpv-scale [--k K] [--seed N] [--churn L] [--queries Q] [--partitions P]
+//!                   [--workers W] [--node-cap N] [--check-serial] [--out FILE]
 //! netrepro session  [--system ncflow|arrow|apkeep|ap|rps] [--seed N] [--auto]
 //!                   [--faults none|light|heavy|chaos]
 //! netrepro validate [--participant a|b|c|d] [--seed N] [--faults none|light|heavy|chaos]
@@ -46,6 +48,7 @@ fn main() {
         Some("survey") => cmd::survey(&a),
         Some("te") => cmd::te(&a),
         Some("dpv") => cmd::dpv(&a),
+        Some("dpv-scale") => cmd::dpv_scale(&a),
         Some("session") => cmd::session(&a),
         Some("validate") => cmd::validate(&a),
         Some("analyze") => cmd::analyze(&a),

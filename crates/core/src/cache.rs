@@ -178,6 +178,7 @@ mod tests {
             style: PromptStyle::ModularText,
             seed,
             profile: FaultProfile::None,
+            scale: crate::harness::TopoScale::Paper,
         }
     }
 

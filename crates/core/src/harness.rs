@@ -61,6 +61,7 @@ const SALT_FAULTS: u64 = 0xfa17_0a75_0000_0002;
 const SALT_HARNESS: u64 = 0x4a52_4e53_0000_0003;
 pub(crate) const SALT_WORKER: u64 = 0x3090_4b32_0000_0004;
 pub(crate) const SALT_SHARD: u64 = 0x54a2_d001_0000_0005;
+pub(crate) const SALT_FABRIC: u64 = 0xfab2_1c5c_0000_0006;
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -90,6 +91,64 @@ pub(crate) fn derive_seed(cell: CellId, attempt: u32, salt: u64) -> u64 {
     )
 }
 
+/// Topology scale of a cell's validation fabric: the paper's own
+/// topologies, or a seeded k-ary fat-tree DCN that the DPV pipeline
+/// verifies at hyper-scale via [`crate::dpv_scale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TopoScale {
+    /// The paper's own validation topologies (the default). Serialized
+    /// away entirely (`skip_serializing_if`) so pre-scale journals and
+    /// fingerprints replay byte-identically.
+    #[default]
+    Paper,
+    /// A seeded k-ary fat-tree fabric; the cell additionally runs a
+    /// partitioned data-plane verification over it and records the
+    /// canonical verdict digest.
+    FatTree {
+        /// Fat-tree arity (even, `k/2` a power of two).
+        k: u8,
+    },
+}
+
+impl TopoScale {
+    /// Whether this is the default paper scale (used by serde to keep
+    /// old journal bytes stable).
+    pub fn is_paper(&self) -> bool {
+        matches!(self, TopoScale::Paper)
+    }
+
+    /// Stable short name: `paper`, or `ft8` for a k=8 fat-tree.
+    pub fn name(&self) -> String {
+        match self {
+            TopoScale::Paper => "paper".to_string(),
+            TopoScale::FatTree { k } => format!("ft{k}"),
+        }
+    }
+
+    /// Parse a scale name (`paper`, `ft4`, `ft8`, ... — inverse of
+    /// [`TopoScale::name`]). Fat-tree arities must be even with `k/2` a
+    /// power of two (the prefix-exact addressing constraint), and small
+    /// enough that a sweep cell's fabric build stays cheap.
+    pub fn parse(s: &str) -> Option<TopoScale> {
+        if s == "paper" {
+            return Some(TopoScale::Paper);
+        }
+        let digits = s.strip_prefix("ft")?;
+        let k: u8 = digits.parse().ok()?;
+        // Canonical spelling only (no leading zeros): parse must be the
+        // exact inverse of `name`, since journal keys embed the name.
+        if k.to_string() == digits
+            && (4..=32).contains(&k)
+            && k.is_multiple_of(2)
+            && (k / 2).is_power_of_two()
+        {
+            Some(TopoScale::FatTree { k })
+        } else {
+            None
+        }
+    }
+}
+
 /// One cell of the sweep matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CellId {
@@ -101,18 +160,31 @@ pub struct CellId {
     pub seed: u64,
     /// Fault profile the cell runs under.
     pub profile: FaultProfile,
+    /// Validation-topology scale. Defaults to [`TopoScale::Paper`] and
+    /// is omitted from serialized cells at that default, so journals
+    /// written before the scale axis existed parse and re-serialize
+    /// byte-identically.
+    #[serde(default, skip_serializing_if = "TopoScale::is_paper")]
+    pub scale: TopoScale,
 }
 
 impl CellId {
-    /// Stable human-readable key, e.g. `NCFlow/pseudo/3/chaos`.
+    /// Stable human-readable key, e.g. `NCFlow/pseudo/3/chaos`. Cells
+    /// at a non-default scale append its name (`.../chaos/ft8`): paper
+    /// cells keep their pre-scale keys, so every derived RNG stream —
+    /// and therefore every journal byte — is unchanged for them.
     pub fn key(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}/{}",
             self.system.name(),
             self.style.name(),
             self.seed,
             self.profile.name()
-        )
+        );
+        match self.scale {
+            TopoScale::Paper => base,
+            scale => format!("{base}/{}", scale.name()),
+        }
     }
 
     /// Circuit-breaker class: system × profile. Seeds and styles share
@@ -195,8 +267,21 @@ pub struct SweepConfig {
     pub seeds: Vec<u64>,
     /// Fault profiles to sweep.
     pub profiles: Vec<FaultProfile>,
+    /// Topology scales to sweep. Defaults to `[Paper]` and is omitted
+    /// from the serialized config at that default, so pre-scale
+    /// fingerprints (and therefore journal headers) are unchanged.
+    #[serde(default = "default_scales", skip_serializing_if = "scales_is_default")]
+    pub scales: Vec<TopoScale>,
     /// Per-cell limits.
     pub limits: TaskLimits,
+}
+
+fn default_scales() -> Vec<TopoScale> {
+    vec![TopoScale::Paper]
+}
+
+fn scales_is_default(scales: &[TopoScale]) -> bool {
+    scales == [TopoScale::Paper]
 }
 
 impl Default for SweepConfig {
@@ -206,20 +291,25 @@ impl Default for SweepConfig {
             styles: vec![PromptStyle::ModularText, PromptStyle::ModularPseudocode],
             seeds: vec![0, 1, 2],
             profiles: vec![FaultProfile::None, FaultProfile::Heavy],
+            scales: default_scales(),
             limits: TaskLimits::default(),
         }
     }
 }
 
 impl SweepConfig {
-    /// The full matrix in canonical order.
+    /// The full matrix in canonical order. The scale axis is innermost,
+    /// so a `[Paper]`-only config expands exactly as it did before the
+    /// axis existed.
     pub fn expand(&self) -> Vec<CellId> {
         let mut cells = Vec::with_capacity(self.total_cells());
         for &system in &self.systems {
             for &style in &self.styles {
                 for &seed in &self.seeds {
                     for &profile in &self.profiles {
-                        cells.push(CellId { system, style, seed, profile });
+                        for &scale in &self.scales {
+                            cells.push(CellId { system, style, seed, profile, scale });
+                        }
                     }
                 }
             }
@@ -229,7 +319,11 @@ impl SweepConfig {
 
     /// Matrix size.
     pub fn total_cells(&self) -> usize {
-        self.systems.len() * self.styles.len() * self.seeds.len() * self.profiles.len()
+        self.systems.len()
+            * self.styles.len()
+            * self.seeds.len()
+            * self.profiles.len()
+            * self.scales.len()
     }
 
     /// Content fingerprint of the config (matrix + limits); stored in
@@ -322,6 +416,12 @@ pub struct CellResult {
     pub gate_errors: u64,
     /// Warning-severity findings from the auditor gate.
     pub gate_warnings: u64,
+    /// Canonical verdict digest of the cell's fat-tree DPV run
+    /// ([`crate::dpv_scale`]); `None` at [`TopoScale::Paper`], and
+    /// omitted from the serialized record then, so pre-scale journal
+    /// bytes are unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dpv_digest: Option<String>,
 }
 
 /// Aggregated fault counts (session injectors + the harness injector).
@@ -1314,6 +1414,14 @@ impl Sweep {
                     }
                     None => (0, 0),
                 };
+                // Non-paper scales additionally verify a seeded
+                // fat-tree fabric and fingerprint the verdicts; a
+                // verification failure fails the attempt like a
+                // rejecting gate.
+                let dpv_digest = match self.verify_scale(cell, attempt) {
+                    Ok(digest) => digest,
+                    Err(_) => return (AttemptVerdict::GateRejected, steps, None),
+                };
                 let words = report.total_words();
                 let loc = u64::from(report.artifact.loc);
                 let result = CellResult {
@@ -1324,10 +1432,47 @@ impl Sweep {
                     residual_defects: report.residual_defects,
                     gate_errors,
                     gate_warnings,
+                    dpv_digest,
                 };
                 (AttemptVerdict::Completed, steps, Some(result))
             }
         }
+    }
+
+    /// Run the cell's scale-dimension verification: nothing at
+    /// [`TopoScale::Paper`], otherwise a partitioned DPV pass over the
+    /// cell's seeded fat-tree. A pure function of `(cell, attempt)` —
+    /// the fabric seed derives from the cell key via its own salt, the
+    /// churn level from the fault profile — so memoized, sharded and
+    /// parallel runs all reproduce the same digest. Runs serially
+    /// (`partitions: 2, workers: 1`) inside the cell; cross-cell
+    /// parallelism belongs to the pool.
+    // effect-allow(GlobalState): the partitioned DPV runner drives the
+    // worker pool (atomic stat counters, channels, scoped threads), but
+    // its merged verdict stream commits in canonical partition order —
+    // byte-identical at every worker count, so nothing global is
+    // observable in the digest; the cell stays a pure function of
+    // (CellId, attempt).
+    fn verify_scale(&self, cell: CellId, attempt: u32) -> Result<Option<String>, String> {
+        let TopoScale::FatTree { k } = cell.scale else {
+            return Ok(None);
+        };
+        let fab_seed = derive_seed(cell, attempt, SALT_FABRIC);
+        let link_down = match cell.profile {
+            FaultProfile::None => 0,
+            _ => 2 + (fab_seed % 11) as usize,
+        };
+        let spec = crate::dpv_scale::DpvScaleSpec {
+            k: k as usize,
+            seed: fab_seed,
+            link_down,
+            queries: Some(2),
+            partitions: 2,
+            workers: 1,
+            node_cap: None,
+        };
+        let report = crate::dpv_scale::run_spec(&spec).map_err(|e| e.to_string())?;
+        Ok(Some(format!("{:016x}", report.digest)))
     }
 
     /// Fold the records into the final report.
@@ -1394,6 +1539,7 @@ mod tests {
             styles: vec![PromptStyle::ModularText],
             seeds: vec![0],
             profiles: vec![FaultProfile::None, FaultProfile::Chaos],
+            scales: vec![TopoScale::Paper],
             limits: TaskLimits::default(),
         }
     }
@@ -1881,5 +2027,86 @@ mod tests {
     fn empty_journal_text_is_a_fresh_run() {
         let replay = parse_journal("", &tiny_config()).unwrap();
         assert_eq!(replay, Replay::empty());
+    }
+
+    #[test]
+    fn topo_scale_parse_inverts_name_and_rejects_bad_arities() {
+        for scale in [TopoScale::Paper, TopoScale::FatTree { k: 4 }, TopoScale::FatTree { k: 16 }]
+        {
+            assert_eq!(TopoScale::parse(&scale.name()), Some(scale));
+        }
+        for bad in ["ft3", "ft12", "ft2", "ft64", "ft", "fat4", "", "ft08"] {
+            assert_eq!(TopoScale::parse(bad), None, "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn pre_scale_journal_bytes_are_unchanged() {
+        // Serialisation: every new field must vanish at its default, so
+        // journals and fingerprints written before the scale axis
+        // existed stay byte-identical.
+        let cfg = tiny_config();
+        let cfg_json = serde_json::to_string(&cfg).unwrap();
+        assert!(!cfg_json.contains("scales"), "default scales must be omitted: {cfg_json}");
+        let cell = cfg.expand()[0];
+        let cell_json = serde_json::to_string(&cell).unwrap();
+        assert!(!cell_json.contains("scale"), "paper scale must be omitted: {cell_json}");
+        assert!(!cell.key().contains("paper"), "paper cells keep pre-scale keys");
+
+        // Deserialisation: pre-scale JSON (no `scales`/`scale` keys)
+        // parses to the defaults and round-trips to the same bytes.
+        let back: SweepConfig = serde_json::from_str(&cfg_json).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.scales, vec![TopoScale::Paper]);
+        assert_eq!(serde_json::to_string(&back).unwrap(), cfg_json);
+        let cell_back: CellId = serde_json::from_str(&cell_json).unwrap();
+        assert_eq!(cell_back, cell);
+
+        // And the fingerprint — the journal-header compatibility gate —
+        // is exactly the pre-scale one for a pre-scale-shaped config.
+        assert_eq!(cfg.fingerprint(), {
+            let mut pre = cfg.clone();
+            pre.scales = default_scales();
+            pre.fingerprint()
+        });
+    }
+
+    #[test]
+    fn scale_cells_record_deterministic_dpv_digests() {
+        let mut cfg = tiny_config();
+        cfg.profiles = vec![FaultProfile::None, FaultProfile::Light];
+        cfg.scales = vec![TopoScale::Paper, TopoScale::FatTree { k: 4 }];
+        let run = |workers: usize| {
+            let mut sink = MemoryJournal::new();
+            let report =
+                Sweep::new(cfg.clone()).with_workers(workers).run(&mut sink).unwrap();
+            (report.render_json(), sink.text().to_string())
+        };
+        let serial = run(1);
+        for workers in [2usize, 4] {
+            assert_eq!(run(workers), serial, "scale sweep differs at workers={workers}");
+        }
+        // Paper cells carry no digest; completed fat-tree cells carry a
+        // 16-hex one. Both kinds must be present in this matrix.
+        let replay = parse_journal(&serial.1, &cfg).unwrap();
+        let mut paper = 0usize;
+        let mut ft = 0usize;
+        for rec in &replay.records {
+            let digest = rec.result.as_ref().and_then(|r| r.dpv_digest.as_deref());
+            match (rec.cell.scale, rec.status) {
+                (TopoScale::Paper, _) => {
+                    assert_eq!(digest, None, "paper cell with digest: {}", rec.cell.key());
+                    paper += 1;
+                }
+                (TopoScale::FatTree { .. }, CellStatus::Completed) => {
+                    let d = digest.expect("completed scale cell has a digest");
+                    assert_eq!(d.len(), 16, "digest must be 16 hex chars: {d}");
+                    assert!(d.bytes().all(|b| b.is_ascii_hexdigit()));
+                    ft += 1;
+                }
+                (TopoScale::FatTree { .. }, _) => {}
+            }
+        }
+        assert!(paper > 0 && ft > 0, "matrix must exercise both scales ({paper}/{ft})");
     }
 }

@@ -44,6 +44,10 @@
 //! * [`pool`] — the bounded worker pool + reorder buffer that lets the
 //!   sweep execute cells out of order while committing them in
 //!   canonical order;
+//! * [`dpv_scale`] — partitioned parallel data-plane verification over
+//!   seeded fat-tree fabrics: disjoint destination chunks, one BDD
+//!   manager per pool worker, canonical-order merge byte-identical to
+//!   the serial verifier;
 //! * [`cache`] — the deterministic memoization layer ([`cache::CellMemo`])
 //!   the sweep consults for oracle-side artifacts and warm cell replays;
 //!   observationally invisible by construction;
@@ -58,6 +62,7 @@
 pub mod artifact;
 pub mod cache;
 pub mod diagnosis;
+pub mod dpv_scale;
 pub mod fault;
 pub mod framework;
 pub mod harness;

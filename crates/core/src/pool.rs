@@ -223,14 +223,71 @@ pub(crate) fn run_ordered<W, X, C>(
     workers: usize,
     cells: &[CellId],
     execute: X,
-    mut commit: C,
+    commit: C,
 ) -> Result<PoolStats, String>
 where
     W: Send,
     X: Fn(CellId) -> W + Sync,
     C: FnMut(usize, W) -> Result<(), String>,
 {
-    let total = cells.len();
+    run_ordered_core(
+        workers,
+        cells.len(),
+        |i, stats| worker_execute(cells[i], &execute, stats),
+        commit,
+    )
+}
+
+/// Run arbitrary work items through `execute` on `workers` threads,
+/// delivering each result to `commit` **in slice order** through the
+/// same bounded reorder buffer the sweep uses. Unlike [`run_ordered`],
+/// items carry no [`CellId`], so no worker-site faults are injected —
+/// this is the plain deterministic fan-out used by the partitioned DPV
+/// runner ([`crate::dpv_scale`]): each item is a destination chunk and
+/// the commit order makes the merged verdict stream canonical whatever
+/// the worker count.
+pub fn run_ordered_items<T, W, X, C>(
+    workers: usize,
+    items: &[T],
+    execute: X,
+    commit: C,
+) -> Result<PoolStats, String>
+where
+    T: Sync,
+    W: Send,
+    X: Fn(usize, &T) -> W + Sync,
+    C: FnMut(usize, W) -> Result<(), String>,
+{
+    run_ordered_core(
+        workers,
+        items.len(),
+        |i, stats| {
+            let r = catch_unwind(AssertUnwindSafe(|| execute(i, &items[i])));
+            if r.is_ok() {
+                stats.executed.fetch_add(1, Ordering::Relaxed);
+            }
+            r
+        },
+        commit,
+    )
+}
+
+/// The shared pool engine: claim indices in canonical order through the
+/// speculation gate, execute out of order, commit strictly in order.
+/// `execute` returns a `thread::Result` so the caller layer decides
+/// what counts as an absorbable fault; whatever still comes back as
+/// `Err` is a genuine panic, re-raised at the item's commit slot.
+fn run_ordered_core<W, X, C>(
+    workers: usize,
+    total: usize,
+    execute: X,
+    mut commit: C,
+) -> Result<PoolStats, String>
+where
+    W: Send,
+    X: Fn(usize, &StatCounters) -> std::thread::Result<W> + Sync,
+    C: FnMut(usize, W) -> Result<(), String>,
+{
     if total == 0 {
         return Ok(PoolStats::default());
     }
@@ -250,7 +307,7 @@ where
             let execute = &execute;
             scope.spawn(move || {
                 while let Some(i) = gate.claim() {
-                    let outcome = worker_execute(cells[i], execute, stats);
+                    let outcome = execute(i, stats);
                     if tx.send((i, outcome)).is_err() {
                         break; // commit loop is gone; stop quietly
                     }
@@ -307,6 +364,7 @@ mod tests {
                 style: PromptStyle::ModularText,
                 seed,
                 profile,
+                scale: crate::harness::TopoScale::Paper,
             })
             .collect()
     }
@@ -443,6 +501,32 @@ mod tests {
             "lead {} exceeded the speculation window",
             max_lead.load(Ordering::Relaxed)
         );
+    }
+
+    #[test]
+    fn generic_items_commit_in_slice_order_without_fault_injection() {
+        // Items are plain strings — no CellId, so no worker faults can
+        // fire; commit order must still be slice order at any width.
+        let items: Vec<String> = (0..17).map(|i| format!("chunk-{i}")).collect();
+        for workers in [1, 3, 8] {
+            let mut seen = Vec::new();
+            let stats = run_ordered_items(
+                workers,
+                &items,
+                |i, s: &String| format!("{s}/{i}"),
+                |i, w| {
+                    seen.push((i, w));
+                    Ok(())
+                },
+            )
+            .expect("pool runs");
+            let want: Vec<(usize, String)> =
+                (0..17).map(|i| (i, format!("chunk-{i}/{i}"))).collect();
+            assert_eq!(seen, want, "workers={workers}");
+            assert_eq!(stats.executed, 17);
+            assert_eq!(stats.crashes_absorbed, 0);
+            assert_eq!(stats.stalls_absorbed, 0);
+        }
     }
 
     #[test]

@@ -740,6 +740,7 @@ mod tests {
             styles: vec![PromptStyle::ModularText],
             seeds: vec![0, 1],
             profiles: vec![FaultProfile::None, FaultProfile::Chaos],
+            scales: vec![crate::harness::TopoScale::Paper],
             limits: TaskLimits::default(),
         }
     }
@@ -753,6 +754,7 @@ mod tests {
             styles: vec![PromptStyle::ModularText],
             seeds: (0..5).collect(),
             profiles: vec![FaultProfile::None],
+            scales: vec![crate::harness::TopoScale::Paper],
             limits: TaskLimits {
                 deadline_steps: 5,
                 breaker_threshold: 3,

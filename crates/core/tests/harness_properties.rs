@@ -6,7 +6,9 @@
 
 use netrepro_core::cache::CellMemo;
 use netrepro_core::fault::FaultProfile;
-use netrepro_core::harness::{parse_journal, MemoryJournal, Sweep, SweepConfig, TaskLimits};
+use netrepro_core::harness::{
+    parse_journal, MemoryJournal, Sweep, SweepConfig, TaskLimits, TopoScale,
+};
 use netrepro_core::paper::TargetSystem;
 use netrepro_core::prompt::PromptStyle;
 use proptest::prelude::*;
@@ -25,9 +27,19 @@ fn arb_profile() -> impl Strategy<Value = FaultProfile> {
 /// occasional tight deadline makes whole classes quarantine, tripping
 /// breakers mid-matrix — the case where parallel speculation must be
 /// discarded at commit time.
+fn arb_scales() -> impl Strategy<Value = Vec<TopoScale>> {
+    // Half the cases stay on the paper matrix; the other half append a
+    // small fat-tree scale cell, exercising the DPV-digest path through
+    // the same crash/resume machinery.
+    prop_oneof![
+        Just(vec![TopoScale::Paper]),
+        Just(vec![TopoScale::Paper, TopoScale::FatTree { k: 4 }]),
+    ]
+}
+
 fn arb_config() -> impl Strategy<Value = SweepConfig> {
-    (arb_profile(), 0u64..50, 1usize..3, prop_oneof![Just(false), Just(true)]).prop_map(
-        |(profile, base_seed, n_seeds, tight)| {
+    (arb_profile(), 0u64..50, 1usize..3, prop_oneof![Just(false), Just(true)], arb_scales())
+        .prop_map(|(profile, base_seed, n_seeds, tight, scales)| {
             let mut limits = TaskLimits::default();
             if tight {
                 limits.deadline_steps = 5;
@@ -38,10 +50,10 @@ fn arb_config() -> impl Strategy<Value = SweepConfig> {
                 styles: vec![PromptStyle::ModularText],
                 seeds: (base_seed..base_seed + n_seeds as u64).collect(),
                 profiles: vec![FaultProfile::None, profile],
+                scales,
                 limits,
             }
-        },
-    )
+        })
 }
 
 fn arb_workers() -> impl Strategy<Value = usize> {

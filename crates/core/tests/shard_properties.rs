@@ -12,7 +12,9 @@
 //! each surviving shard's text independently.
 
 use netrepro_core::fault::FaultProfile;
-use netrepro_core::harness::{JournalSink, MemoryJournal, Sweep, SweepConfig, TaskLimits};
+use netrepro_core::harness::{
+    JournalSink, MemoryJournal, Sweep, SweepConfig, TaskLimits, TopoScale,
+};
 use netrepro_core::paper::TargetSystem;
 use netrepro_core::prompt::PromptStyle;
 use netrepro_core::shard::{
@@ -35,9 +37,18 @@ fn arb_profile() -> impl Strategy<Value = FaultProfile> {
 /// chaos drives panic/wedge/retry/quarantine, and the occasional tight
 /// deadline trips breakers mid-matrix — the case where a shard's
 /// speculative works must be discarded at merge time.
+fn arb_scales() -> impl Strategy<Value = Vec<TopoScale>> {
+    // Mostly the paper matrix; occasionally append a small fat-tree
+    // scale cell so shard/merge byte-identity covers the DPV digests.
+    prop_oneof![
+        Just(vec![TopoScale::Paper]),
+        Just(vec![TopoScale::Paper, TopoScale::FatTree { k: 4 }]),
+    ]
+}
+
 fn arb_config() -> impl Strategy<Value = SweepConfig> {
-    (arb_profile(), 0u64..50, 1usize..3, prop_oneof![Just(false), Just(true)]).prop_map(
-        |(profile, base_seed, n_seeds, tight)| {
+    (arb_profile(), 0u64..50, 1usize..3, prop_oneof![Just(false), Just(true)], arb_scales())
+        .prop_map(|(profile, base_seed, n_seeds, tight, scales)| {
             let mut limits = TaskLimits::default();
             if tight {
                 limits.deadline_steps = 5;
@@ -48,10 +59,10 @@ fn arb_config() -> impl Strategy<Value = SweepConfig> {
                 styles: vec![PromptStyle::ModularText],
                 seeds: (base_seed..base_seed + n_seeds as u64).collect(),
                 profiles: vec![FaultProfile::None, profile],
+                scales,
                 limits,
             }
-        },
-    )
+        })
 }
 
 /// Snap a fractional cut to a char boundary (journal text is ASCII

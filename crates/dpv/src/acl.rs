@@ -219,7 +219,7 @@ mod tests {
                     let bits = packet_bits(&l, dst, src, dport);
                     assert_eq!(
                         m.eval(p, &bits),
-                        t.permits(&l, src, dst, dport),
+                        Ok(t.permits(&l, src, dst, dport)),
                         "src={src} dst={dst} dport={dport}"
                     );
                 }

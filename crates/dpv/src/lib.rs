@@ -29,10 +29,12 @@ pub mod ap;
 pub mod apkeep;
 pub mod atoms;
 pub mod dataset;
+pub mod fabric;
 pub mod header;
 pub mod network;
 pub mod queries;
 pub mod reach;
+pub mod scale;
 pub mod sim;
 
 pub use header::{HeaderLayout, Prefix};

@@ -323,7 +323,7 @@ mod tests {
             let via_bdd = pp
                 .preds
                 .iter()
-                .find(|&&(_, p)| m.eval(p, &bits))
+                .find(|&&(_, p)| m.eval(p, &bits) == Ok(true))
                 .map(|&(act, _)| act)
                 .unwrap_or(Action::Drop);
             assert_eq!(via_bdd, oracle, "addr {addr}");

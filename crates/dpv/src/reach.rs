@@ -92,6 +92,16 @@ pub struct EnumResult {
 /// `max_paths` caps the number of complete paths processed (participant
 /// D's runs, too, only finished because the datasets were finite); when
 /// the cap fires, `truncated` is set and the result is a lower bound.
+///
+/// Boundary semantics (fixed after an audit of the cap arithmetic):
+/// `truncated` is set **iff at least one complete path was actually
+/// skipped**. Earlier the cap was tested on *entry to every search
+/// node*, so a search that found exactly `max_paths` paths — or even
+/// one that found none at all under `max_paths == 0` — reported
+/// `truncated` just because the DFS still had dead-end branches to
+/// visit. Now a run whose path count genuinely fits the cap reports
+/// `truncated == false` and is exact, and `paths_explored` never
+/// exceeds `max_paths`.
 pub fn path_enumeration(
     v: &mut ApVerifier,
     src: NodeId,
@@ -158,11 +168,16 @@ pub fn path_enumeration(
         }
 
         fn go(&mut self, u: NodeId) {
-            if self.paths >= self.max_paths {
-                self.truncated = true;
-                return;
+            if self.truncated {
+                return; // a path has been skipped; unwind
             }
             if u == self.dst {
+                // The cap is charged only when a *complete* path is
+                // found past it — dead-end branches never trip it.
+                if self.paths >= self.max_paths {
+                    self.truncated = true;
+                    return;
+                }
                 self.paths += 1;
                 self.check_path();
                 return;
@@ -223,7 +238,17 @@ pub struct LoopWitness {
 
 /// Detect forwarding loops: DFS from every device tracking the atom set
 /// alive on the current path; a non-empty revisit is a loop. Returns at
-/// most `cap` distinct witnesses.
+/// most `cap` witnesses — one per looping device, in ascending device
+/// order, with the atoms unioned over every cycle through that device.
+///
+/// Cap semantics (fixed after an audit of the boundary arithmetic):
+/// `cap` bounds *distinct looping devices*. Earlier the cap counted raw
+/// DFS back-edge hits before a post-hoc dedup-by-device, so a single
+/// device with several cycles could eat the whole budget and the caller
+/// got fewer distinct witnesses than `cap` even though more looping
+/// devices existed. Now `find_loops(v, c)` is exactly the first `c`
+/// entries of `find_loops(v, usize::MAX)` — a prefix property the
+/// proptests lock in.
 pub fn find_loops(v: &ApVerifier, cap: usize) -> Vec<LoopWitness> {
     let n = v.tables.len();
     let universe = v.num_atoms();
@@ -233,27 +258,33 @@ pub fn find_loops(v: &ApVerifier, cap: usize) -> Vec<LoopWitness> {
             break;
         }
         let mut on_path = vec![false; n];
-        dfs_loops(v, NodeId(start as u32), NodeId(start as u32), &AtomSet::full(universe), &mut on_path, &mut out, cap, 0);
+        let mut atoms = AtomSet::empty(universe);
+        dfs_loops(
+            v,
+            NodeId(start as u32),
+            NodeId(start as u32),
+            &AtomSet::full(universe),
+            &mut on_path,
+            &mut atoms,
+            0,
+        );
+        if !atoms.is_empty() {
+            out.push(LoopWitness { device: NodeId(start as u32), atoms });
+        }
     }
-    // Deduplicate by device.
-    out.sort_by_key(|w| w.device);
-    out.dedup_by_key(|w| w.device);
-    out.truncate(cap);
     out
 }
 
-#[allow(clippy::too_many_arguments)]
 fn dfs_loops(
     v: &ApVerifier,
     start: NodeId,
     u: NodeId,
     alive: &AtomSet,
     on_path: &mut [bool],
-    out: &mut Vec<LoopWitness>,
-    cap: usize,
+    acc: &mut AtomSet,
     depth: usize,
 ) {
-    if out.len() >= cap || depth > v.tables.len() {
+    if depth > v.tables.len() {
         return;
     }
     on_path[u.index()] = true;
@@ -265,14 +296,11 @@ fn dfs_loops(
                 continue;
             }
             if next == start {
-                out.push(LoopWitness { device: start, atoms: surviving });
-                if out.len() >= cap {
-                    break;
-                }
+                acc.union_in_place(&surviving);
                 continue;
             }
             if !on_path[next.index()] {
-                dfs_loops(v, start, next, &surviving, on_path, out, cap, depth + 1);
+                dfs_loops(v, start, next, &surviving, on_path, acc, depth + 1);
             }
         }
     }
@@ -371,6 +399,112 @@ mod tests {
         assert!(capped.truncated || capped.paths_explored <= 1);
         // The capped result must imply the full one.
         assert!(v.manager.implies(capped.delivered, full.delivered));
+    }
+
+    #[test]
+    fn enumeration_at_exactly_cap_is_exact_not_truncated() {
+        // Regression for the entry-check off-by-one: a run that finds
+        // exactly `max_paths` complete paths (with dead-end branches
+        // still pending) used to report `truncated`.
+        let ds = ring_ds(6);
+        let mut v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        let full = path_enumeration(&mut v, NodeId(0), NodeId(3), 1_000_000);
+        assert!(!full.truncated);
+        let exact = path_enumeration(&mut v, NodeId(0), NodeId(3), full.paths_explored);
+        assert!(!exact.truncated, "exactly-cap run must not report truncation");
+        assert_eq!(exact.paths_explored, full.paths_explored);
+        assert_eq!(exact.delivered, full.delivered);
+    }
+
+    #[test]
+    fn enumeration_cap_zero_without_paths_is_exact() {
+        // cap=0 between disconnected devices: nothing is skipped, so
+        // the result is exact, not truncated.
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let _b = g.add_node("b");
+        let net = Network::new(g, HeaderLayout::new(8));
+        let mut v = ApVerifier::build(&net, EngineProfile::Cached);
+        let r = path_enumeration(&mut v, a, NodeId(1), 0);
+        assert!(!r.truncated);
+        assert_eq!(r.paths_explored, 0);
+        assert_eq!(r.delivered, FALSE);
+        // cap=0 where a path *does* exist must still flag truncation.
+        let ds = ring_ds(4);
+        let mut v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+        let r = path_enumeration(&mut v, NodeId(0), NodeId(2), 0);
+        assert!(r.truncated);
+        assert_eq!(r.paths_explored, 0);
+    }
+
+    /// Inject seeded ping-pong loops between `pairs` adjacent ring
+    /// devices, giving each pair its own full-length prefix.
+    fn inject_ring_loops(ds: &mut crate::dataset::FibDataset, n: usize, seed: u64, pairs: usize) {
+        for i in 0..pairs {
+            let a = ((seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % n;
+            let b = (a + 1) % n;
+            let (na, nb) = (NodeId(a as u32), NodeId(b as u32));
+            let ab = ds.network.graph.find_edge(na, nb).expect("ring edge");
+            let ba = ds.network.graph.find_edge(nb, na).expect("ring edge");
+            // Full-length prefix unique to the pair (12-bit layout).
+            let p = Prefix { addr: ((seed.wrapping_add(i as u64 * 131)) % 4096) as u32, len: 12 };
+            ds.network.device_mut(na).insert(Rule { prefix: p, priority: 13, action: Action::Forward(ab) });
+            ds.network.device_mut(nb).insert(Rule { prefix: p, priority: 13, action: Action::Forward(ba) });
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// `find_loops(cap)` is exactly the `cap`-prefix of the uncapped
+        /// witness list, for every cap — including 0 and exactly-cap.
+        #[test]
+        fn loop_cap_is_exact_prefix(seed in 0u64..1000, n in 4usize..8, pairs in 1usize..4) {
+            let mut ds = ring_ds(n);
+            inject_ring_loops(&mut ds, n, seed, pairs);
+            let v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+            let full = find_loops(&v, usize::MAX);
+            proptest::prop_assert!(!full.is_empty(), "injected loops must be found");
+            for cap in 0..=full.len() + 2 {
+                let capped = find_loops(&v, cap);
+                proptest::prop_assert_eq!(capped.len(), full.len().min(cap));
+                for (got, want) in capped.iter().zip(full.iter()) {
+                    proptest::prop_assert_eq!(got.device, want.device);
+                    proptest::prop_assert_eq!(&got.atoms, &want.atoms);
+                }
+            }
+        }
+
+        /// The truncated-enumeration-is-lower-bound invariant, over every
+        /// cap from 0 past the true path count, on seeded faulty rings.
+        #[test]
+        fn enumeration_lower_bound_over_all_caps(seed in 0u64..1000, n in 4usize..8) {
+            let ds = generate(
+                ring(n, 1.0),
+                HeaderLayout::new(12),
+                &DatasetOpts { prefixes_per_device: 1, fault_rate: 0.25, seed },
+            );
+            let mut v = ApVerifier::build(&ds.network, EngineProfile::Cached);
+            let (src, dst) = (NodeId(0), NodeId((n / 2) as u32));
+            let full = path_enumeration(&mut v, src, dst, 1 << 40);
+            proptest::prop_assert!(!full.truncated);
+            for cap in 0..=full.paths_explored + 1 {
+                let capped = path_enumeration(&mut v, src, dst, cap);
+                // Never over-counts, and the result is a lower bound.
+                proptest::prop_assert!(capped.paths_explored <= cap);
+                proptest::prop_assert!(v.manager.implies(capped.delivered, full.delivered));
+                if cap >= full.paths_explored {
+                    // The whole path set fits: exact, not truncated.
+                    proptest::prop_assert!(!capped.truncated);
+                    proptest::prop_assert_eq!(capped.paths_explored, full.paths_explored);
+                    proptest::prop_assert_eq!(capped.delivered, full.delivered);
+                } else {
+                    // Something was skipped: must say so.
+                    proptest::prop_assert!(capped.truncated);
+                    proptest::prop_assert_eq!(capped.paths_explored, cap);
+                }
+            }
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ proptest! {
                         for d in 0..nodes {
                             let set = matrix.get(NodeId(s as u32), NodeId(d as u32));
                             let bdd = v.atoms.to_bdd(&mut v.manager, set);
-                            let member = v.manager.eval(bdd, &packet_bits(addr));
+                            let member = v.manager.eval(bdd, &packet_bits(addr)) == Ok(true);
                             prop_assert_eq!(
                                 member,
                                 d == at.index(),
@@ -68,7 +68,7 @@ proptest! {
                             let set = matrix.get(NodeId(s as u32), NodeId(d as u32));
                             let bdd = v.atoms.to_bdd(&mut v.manager, set);
                             prop_assert!(
-                                !v.manager.eval(bdd, &packet_bits(addr)),
+                                v.manager.eval(bdd, &packet_bits(addr)) != Ok(true),
                                 "dropped/looping packet {:#x} from {} appears delivered at {}",
                                 addr, s, d
                             );

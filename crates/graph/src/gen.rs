@@ -145,6 +145,242 @@ pub fn grid(rows: usize, cols: usize, capacity: f64) -> DiGraph {
     g
 }
 
+/// Specification of a k-ary fat-tree data-center fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTreeSpec {
+    /// Arity `k`: `k` pods, each with `k/2` edge and `k/2` aggregation
+    /// switches, `(k/2)²` core switches, and `k³/4` hosts. Must be even
+    /// with `k/2` a power of two (so host addressing is prefix-exact).
+    pub k: usize,
+    /// Capacity of every link, in Gbps.
+    pub capacity: f64,
+    /// Whether hosts are materialized as graph nodes. Switch-only
+    /// fabrics (`false`) model the verification dataplane at k=64+
+    /// without paying for 65k+ host nodes.
+    pub with_hosts: bool,
+}
+
+impl FatTreeSpec {
+    /// A spec with DCN-ish defaults (hosts included).
+    pub fn new(k: usize) -> Self {
+        FatTreeSpec { k, capacity: 40.0, with_hosts: true }
+    }
+}
+
+/// A generated fat-tree with its canonical index arithmetic.
+///
+/// Node ids are assigned in one fixed order — cores, then aggregation
+/// switches pod-major, then edge switches pod-major, then hosts
+/// `(pod, edge)`-major — so every consumer (FIB construction, the
+/// partitioned verifier, render code) can translate between roles and
+/// ids without storing per-node metadata. Construction is streaming:
+/// O(V+E) memory, no all-pairs or routing state.
+#[derive(Debug)]
+pub struct FatTree {
+    /// The topology. Link weights are 1 (hop-count routing).
+    pub graph: DiGraph,
+    /// The arity this tree was built with.
+    pub k: usize,
+    /// Whether hosts exist as graph nodes.
+    pub with_hosts: bool,
+}
+
+impl FatTree {
+    /// Half-arity `k/2` (uplinks per switch, hosts per edge switch).
+    pub fn half(&self) -> usize {
+        self.k / 2
+    }
+
+    /// Number of core switches, `(k/2)²`.
+    pub fn num_cores(&self) -> usize {
+        self.half() * self.half()
+    }
+
+    /// Number of aggregation switches, `k·k/2`.
+    pub fn num_aggs(&self) -> usize {
+        self.k * self.half()
+    }
+
+    /// Number of edge switches, `k·k/2`.
+    pub fn num_edge_switches(&self) -> usize {
+        self.k * self.half()
+    }
+
+    /// Number of switches (the verification "devices" at scale).
+    pub fn num_switches(&self) -> usize {
+        self.num_cores() + self.num_aggs() + self.num_edge_switches()
+    }
+
+    /// Number of hosts, `k³/4` (whether or not materialized).
+    pub fn num_hosts(&self) -> usize {
+        self.k * self.k * self.k / 4
+    }
+
+    /// Node id of core switch `i` (`i < (k/2)²`). Core `i` belongs to
+    /// group `i / (k/2)`: aggregation switch `j` of every pod uplinks
+    /// to exactly the cores of group `j`.
+    pub fn core(&self, i: usize) -> NodeId {
+        debug_assert!(i < self.num_cores());
+        NodeId(i as u32)
+    }
+
+    /// Node id of aggregation switch `j` of pod `p`.
+    pub fn agg(&self, p: usize, j: usize) -> NodeId {
+        debug_assert!(p < self.k && j < self.half());
+        NodeId((self.num_cores() + p * self.half() + j) as u32)
+    }
+
+    /// Node id of edge switch `e` of pod `p`.
+    pub fn edge(&self, p: usize, e: usize) -> NodeId {
+        debug_assert!(p < self.k && e < self.half());
+        NodeId((self.num_cores() + self.num_aggs() + p * self.half() + e) as u32)
+    }
+
+    /// Node id of host `h` under edge switch `e` of pod `p` (requires
+    /// `with_hosts`).
+    pub fn host(&self, p: usize, e: usize, h: usize) -> NodeId {
+        debug_assert!(self.with_hosts);
+        debug_assert!(p < self.k && e < self.half() && h < self.half());
+        let flat = (p * self.half() + e) * self.half() + h;
+        NodeId((self.num_switches() + flat) as u32)
+    }
+
+    /// Dense host index (`0..k³/4`) of host `(p, e, h)` — the address
+    /// the FIB layer builds prefixes from.
+    pub fn host_index(&self, p: usize, e: usize, h: usize) -> usize {
+        (p * self.half() + e) * self.half() + h
+    }
+
+    /// Inverse of [`FatTree::host_index`].
+    pub fn host_coords(&self, idx: usize) -> (usize, usize, usize) {
+        let h = idx % self.half();
+        let rest = idx / self.half();
+        (rest / self.half(), rest % self.half(), h)
+    }
+
+    /// Role of a node id, recovered from the canonical layout.
+    pub fn role(&self, n: NodeId) -> FtRole {
+        let i = n.index();
+        let (nc, na, ne) = (self.num_cores(), self.num_aggs(), self.num_edge_switches());
+        if i < nc {
+            return FtRole::Core { group: i / self.half() };
+        }
+        let i = i - nc;
+        if i < na {
+            return FtRole::Agg { pod: i / self.half(), idx: i % self.half() };
+        }
+        let i = i - na;
+        if i < ne {
+            return FtRole::Edge { pod: i / self.half(), idx: i % self.half() };
+        }
+        let (p, e, h) = self.host_coords(i - ne);
+        FtRole::Host { pod: p, edge: e, idx: h }
+    }
+}
+
+/// Position of a fat-tree node in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtRole {
+    /// Core switch; `group` selects which agg index uplinks to it.
+    Core {
+        /// Core group `i / (k/2)`.
+        group: usize,
+    },
+    /// Aggregation switch `idx` of `pod`.
+    Agg {
+        /// Pod number.
+        pod: usize,
+        /// Index within the pod.
+        idx: usize,
+    },
+    /// Edge (top-of-rack) switch `idx` of `pod`.
+    Edge {
+        /// Pod number.
+        pod: usize,
+        /// Index within the pod.
+        idx: usize,
+    },
+    /// Host `idx` under edge switch `edge` of `pod`.
+    Host {
+        /// Pod number.
+        pod: usize,
+        /// Edge-switch index within the pod.
+        edge: usize,
+        /// Host index under the edge switch.
+        idx: usize,
+    },
+}
+
+/// Generate a k-ary fat-tree (Al-Fares et al.): `k` pods of `k/2` edge
+/// and `k/2` aggregation switches, `(k/2)²` cores, and (optionally)
+/// `k³/4` hosts. Edges are inserted in one canonical order (core↔agg
+/// pod-major, then agg↔edge pod-major, then edge↔host), so edge ids are
+/// a pure function of `spec` — the determinism the partitioned verifier
+/// leans on.
+///
+/// # Panics
+/// Panics if `k < 4`, `k` is odd, or `k/2` is not a power of two
+/// (fabric sizes are static configuration, exactly like header widths).
+pub fn fat_tree(spec: &FatTreeSpec) -> FatTree {
+    let k = spec.k;
+    assert!(k >= 4 && k.is_multiple_of(2), "fat-tree arity must be even and >= 4");
+    assert!((k / 2).is_power_of_two(), "k/2 must be a power of two for prefix-exact addressing");
+    let half = k / 2;
+    let mut g = DiGraph::new();
+    g.add_nodes("ftc", half * half);
+    g.add_nodes("fta", k * half);
+    g.add_nodes("fte", k * half);
+    if spec.with_hosts {
+        g.add_nodes("fth", k * half * half);
+    }
+
+    // Core ↔ aggregation: agg j of pod p uplinks to core group j.
+    for p in 0..k {
+        for j in 0..half {
+            for m in 0..half {
+                g.add_bidi(ft_agg(k, p, j), ft_core(j * half + m), spec.capacity, 1.0);
+            }
+        }
+    }
+    // Aggregation ↔ edge, full bipartite within each pod.
+    for p in 0..k {
+        for j in 0..half {
+            for e in 0..half {
+                g.add_bidi(ft_agg(k, p, j), ft_edge(k, p, e), spec.capacity, 1.0);
+            }
+        }
+    }
+    // Edge ↔ host.
+    if spec.with_hosts {
+        for p in 0..k {
+            for e in 0..half {
+                for h in 0..half {
+                    g.add_bidi(ft_edge(k, p, e), ft_host(k, p, e, h), spec.capacity, 1.0);
+                }
+            }
+        }
+    }
+    FatTree { graph: g, k, with_hosts: spec.with_hosts }
+}
+
+// Free-function id arithmetic used during construction (before the
+// `FatTree` owns its graph); mirrors the methods above.
+fn ft_core(i: usize) -> NodeId {
+    NodeId(i as u32)
+}
+fn ft_agg(k: usize, p: usize, j: usize) -> NodeId {
+    let half = k / 2;
+    NodeId((half * half + p * half + j) as u32)
+}
+fn ft_edge(k: usize, p: usize, e: usize) -> NodeId {
+    let half = k / 2;
+    NodeId((half * half + k * half + p * half + e) as u32)
+}
+fn ft_host(k: usize, p: usize, e: usize, h: usize) -> NodeId {
+    let half = k / 2;
+    NodeId((half * half + 2 * k * half + (p * half + e) * half + h) as u32)
+}
+
 /// Pick `count` distinct node pairs, uniformly, deterministically.
 pub fn sample_pairs(g: &DiGraph, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -200,6 +436,87 @@ mod tests {
             let (s, d) = g.endpoints(e);
             assert!(g.find_edge(d, s).is_some(), "missing reverse of {s:?}->{d:?}");
         }
+    }
+
+    #[test]
+    fn fat_tree_shape_matches_al_fares_counts() {
+        for k in [4usize, 8] {
+            let ft = fat_tree(&FatTreeSpec::new(k));
+            let half = k / 2;
+            assert_eq!(ft.num_cores(), half * half);
+            assert_eq!(ft.num_switches(), 5 * k * k / 4);
+            assert_eq!(ft.num_hosts(), k * k * k / 4);
+            assert_eq!(ft.graph.num_nodes(), ft.num_switches() + ft.num_hosts());
+            // 3 bidi layers of k²·k/4... each layer has k·(k/2)·(k/2)
+            // unordered links → ×2 directed edges, ×3 layers.
+            assert_eq!(ft.graph.num_edges(), 3 * 2 * k * half * half);
+            assert!(ft.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn fat_tree_switch_only_fabric_drops_hosts() {
+        let ft = fat_tree(&FatTreeSpec { k: 8, capacity: 40.0, with_hosts: false });
+        assert_eq!(ft.graph.num_nodes(), ft.num_switches());
+        assert_eq!(ft.graph.num_edges(), 2 * 2 * 8 * 4 * 4);
+        assert!(ft.graph.is_connected());
+    }
+
+    #[test]
+    fn fat_tree_roles_roundtrip() {
+        let ft = fat_tree(&FatTreeSpec::new(4));
+        assert_eq!(ft.role(ft.core(3)), FtRole::Core { group: 1 });
+        assert_eq!(ft.role(ft.agg(2, 1)), FtRole::Agg { pod: 2, idx: 1 });
+        assert_eq!(ft.role(ft.edge(3, 0)), FtRole::Edge { pod: 3, idx: 0 });
+        assert_eq!(ft.role(ft.host(1, 1, 0)), FtRole::Host { pod: 1, edge: 1, idx: 0 });
+        for idx in 0..ft.num_hosts() {
+            let (p, e, h) = ft.host_coords(idx);
+            assert_eq!(ft.host_index(p, e, h), idx);
+        }
+    }
+
+    #[test]
+    fn fat_tree_wiring_is_al_fares() {
+        let ft = fat_tree(&FatTreeSpec::new(4));
+        let half = ft.half();
+        // Agg j of every pod reaches exactly core group j.
+        for p in 0..ft.k {
+            for j in 0..half {
+                for m in 0..half {
+                    assert!(ft.graph.find_edge(ft.agg(p, j), ft.core(j * half + m)).is_some());
+                }
+            }
+        }
+        // Pods are internally full-bipartite agg↔edge.
+        for p in 0..ft.k {
+            for j in 0..half {
+                for e in 0..half {
+                    assert!(ft.graph.find_edge(ft.agg(p, j), ft.edge(p, e)).is_some());
+                    assert!(ft.graph.find_edge(ft.edge(p, e), ft.agg(p, j)).is_some());
+                }
+            }
+        }
+        // No pod-crossing agg↔edge links.
+        assert!(ft.graph.find_edge(ft.agg(0, 0), ft.edge(1, 0)).is_none());
+    }
+
+    #[test]
+    fn fat_tree_is_deterministic() {
+        let a = fat_tree(&FatTreeSpec::new(8));
+        let b = fat_tree(&FatTreeSpec::new(8));
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for e in a.graph.edges() {
+            assert_eq!(a.graph.endpoints(e), b.graph.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn fat_tree_scales_to_ten_thousand_devices() {
+        // k=32 switch-only: 1280 switches; with hosts: 9472 nodes.
+        let ft = fat_tree(&FatTreeSpec { k: 32, capacity: 40.0, with_hosts: true });
+        assert_eq!(ft.num_switches(), 1280);
+        assert_eq!(ft.graph.num_nodes(), 1280 + 8192);
+        assert!(ft.graph.num_nodes() >= 9000);
     }
 
     #[test]

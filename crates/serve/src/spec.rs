@@ -10,7 +10,7 @@
 //! the matrix runs via `netrepro sweep` or through the daemon.
 
 use netrepro_core::fault::FaultProfile;
-use netrepro_core::harness::{SweepConfig, TaskLimits};
+use netrepro_core::harness::{SweepConfig, TaskLimits, TopoScale};
 use netrepro_core::paper::TargetSystem;
 use netrepro_core::prompt::PromptStyle;
 
@@ -71,6 +71,7 @@ impl JobSpec {
         let mut systems: Option<Vec<TargetSystem>> = None;
         let mut styles: Option<Vec<PromptStyle>> = None;
         let mut profiles: Option<Vec<FaultProfile>> = None;
+        let mut scales: Option<Vec<TopoScale>> = None;
         let mut seeds: Option<u64> = None;
         let mut limits = TaskLimits::default();
         let mut clock_limit = 0u64;
@@ -87,6 +88,7 @@ impl JobSpec {
                 "systems" => systems = Some(parse_list(value, TargetSystem::parse, key)?),
                 "styles" => styles = Some(parse_list(value, PromptStyle::parse, key)?),
                 "profiles" => profiles = Some(parse_list(value, FaultProfile::parse, key)?),
+                "scales" => scales = Some(parse_list(value, TopoScale::parse, key)?),
                 "seeds" => {
                     let n: u64 = parse_num(value, key)?;
                     if n == 0 {
@@ -113,6 +115,7 @@ impl JobSpec {
             styles: styles
                 .unwrap_or_else(|| vec![PromptStyle::ModularText, PromptStyle::ModularPseudocode]),
             profiles: profiles.unwrap_or_else(|| vec![FaultProfile::None, FaultProfile::Heavy]),
+            scales: scales.unwrap_or_else(|| vec![TopoScale::Paper]),
             seeds: (0..seeds.unwrap_or(3)).collect(),
             limits,
         };
@@ -125,11 +128,13 @@ impl JobSpec {
         let systems: Vec<&str> = self.config.systems.iter().map(|&s| system_token(s)).collect();
         let styles: Vec<&str> = self.config.styles.iter().map(|s| s.name()).collect();
         let profiles: Vec<&str> = self.config.profiles.iter().map(|p| p.name()).collect();
+        let scales: Vec<String> = self.config.scales.iter().map(|s| s.name()).collect();
         format!(
-            "systems={};styles={};profiles={};seeds={};deadline={};attempts={};breaker={};clock={}",
+            "systems={};styles={};profiles={};scales={};seeds={};deadline={};attempts={};breaker={};clock={}",
             systems.join("+"),
             styles.join("+"),
             profiles.join("+"),
+            scales.join("+"),
             self.config.seeds.len(),
             self.config.limits.deadline_steps,
             self.config.limits.max_attempts,
@@ -190,6 +195,7 @@ mod tests {
             vec![PromptStyle::ModularText, PromptStyle::ModularPseudocode]
         );
         assert_eq!(spec.config.profiles, vec![FaultProfile::None, FaultProfile::Heavy]);
+        assert_eq!(spec.config.scales, vec![TopoScale::Paper]);
         assert_eq!(spec.config.seeds, vec![0, 1, 2]);
         assert_eq!(spec.config.limits, TaskLimits::default());
     }
@@ -220,6 +226,9 @@ mod tests {
             "seeds=0",
             "seeds=abc",
             "systems=rps;systems=ap",
+            "scales=ft3",
+            "scales=ft12",
+            "scales=",
             "colour=blue",
             "noequals",
         ] {

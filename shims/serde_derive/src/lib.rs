@@ -8,37 +8,75 @@
 //! as a string, matching serde's externally-tagged enum encoding:
 //! a unit variant serialises to its name as a string, a struct variant
 //! to `{"Variant": {fields...}}`.
+//!
+//! A subset of real serde's field attributes is honoured, because the
+//! workspace relies on them for journal byte-compatibility when a
+//! struct grows a field:
+//!
+//! * `#[serde(default)]` — on deserialisation a missing key takes
+//!   `Default::default()` instead of erroring;
+//! * `#[serde(default = "path")]` — ditto, via `path()`;
+//! * `#[serde(skip_serializing_if = "path")]` — the field is omitted
+//!   from the serialised object when `path(&field)` returns true.
+//!
+//! Any other `#[serde(...)]` argument is a compile-time panic, not a
+//! silent no-op: pretending to honour an encoding attribute would
+//! corrupt journals.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named struct field plus the serde attributes the shim honours.
+struct Field {
+    /// Field name.
+    name: String,
+    /// `None` = required on deserialise; `Some(None)` =
+    /// `Default::default()` fallback; `Some(Some(path))` = `path()`
+    /// fallback.
+    default: Option<Option<String>>,
+    /// Predicate path whose truth omits the field when serialising.
+    skip_if: Option<String>,
+}
 
 /// A parsed `struct`/`enum` item: just the names the codegen needs.
 enum Body {
     /// Named field list.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     /// `(variant, None)` for unit variants, `(variant, Some(fields))`
-    /// for struct-like variants.
+    /// for struct-like variants (variant fields take no attributes).
     Enum(Vec<(String, Option<Vec<String>>)>),
 }
 
 /// Derives `serde::Serialize` (the shim's `to_value` form).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let (name, body) = parse_item(input);
     let out = match body {
         Body::Struct(fields) => {
-            let pairs: Vec<String> = fields
+            let pushes: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                    let fname = &f.name;
+                    let push = format!(
+                        "pairs.push((\"{fname}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{fname})));"
+                    );
+                    match &f.skip_if {
+                        Some(path) => {
+                            format!("if !{path}(&self.{fname}) {{ {push} }}")
+                        }
+                        None => push,
+                    }
                 })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
-                         ::serde::Value::Object(vec![{}])\n\
+                         let mut pairs: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {}\n\
+                         ::serde::Value::Object(pairs)\n\
                      }}\n\
                  }}",
-                pairs.join(", ")
+                pushes.join("\n")
             )
         }
         Body::Enum(variants) => {
@@ -81,7 +119,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (the shim's `from_value` form).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let (name, body) = parse_item(input);
     let out = match body {
@@ -89,7 +127,24 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?")
+                    let fname = &f.name;
+                    match &f.default {
+                        None => format!(
+                            "{fname}: ::serde::Deserialize::from_value(v.field(\"{fname}\")?)?"
+                        ),
+                        Some(fallback) => {
+                            let fb = match fallback {
+                                None => "::core::default::Default::default()".to_string(),
+                                Some(path) => format!("{path}()"),
+                            };
+                            format!(
+                                "{fname}: match v.get(\"{fname}\") {{\n\
+                                     Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                                     None => {fb},\n\
+                                 }}"
+                            )
+                        }
+                    }
                 })
                 .collect();
             format!(
@@ -187,7 +242,7 @@ fn parse_item(input: TokenStream) -> (String, Body) {
         Body::Struct(
             split_top_level(group)
                 .into_iter()
-                .filter_map(|chunk| field_name(&chunk))
+                .filter_map(|chunk| parse_field(&chunk, &name))
                 .collect(),
         )
     } else {
@@ -223,6 +278,60 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     }
     chunks.retain(|c| !c.is_empty());
     chunks
+}
+
+/// Parses one struct-field chunk — `#[attrs] vis name: Type` — into a
+/// [`Field`], honouring the chunk's `#[serde(...)]` attributes.
+fn parse_field(chunk: &[TokenTree], item: &str) -> Option<Field> {
+    let name = field_name(chunk)?;
+    let mut field = Field { name, default: None, skip_if: None };
+    // Attributes appear as `#` followed by a bracket group; only the
+    // `serde(...)` ones matter here (doc comments etc. pass through).
+    for t in chunk {
+        let TokenTree::Group(g) = t else { continue };
+        if g.delimiter() != Delimiter::Bracket {
+            continue;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        match inner.first() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+            _ => continue,
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else { continue };
+        apply_serde_args(args.stream(), &mut field, item);
+    }
+    Some(field)
+}
+
+/// Applies the arguments of one `#[serde(...)]` attribute to `field`.
+/// Unsupported arguments panic: silently ignoring an encoding attribute
+/// would silently change serialized bytes.
+fn apply_serde_args(stream: TokenStream, field: &mut Field, item: &str) {
+    for arg in split_top_level(stream) {
+        let key = match arg.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("derive({item}): bad serde attribute argument {other:?}"),
+        };
+        // `key` alone, or `key = "literal"`.
+        let value = match (arg.get(1), arg.get(2)) {
+            (None, _) => None,
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit)))
+                if p.as_char() == '=' =>
+            {
+                let s = lit.to_string();
+                Some(s.trim_matches('"').to_string())
+            }
+            _ => panic!("derive({item}): bad serde attribute argument for `{key}`"),
+        };
+        match (key.as_str(), value) {
+            ("default", path) => field.default = Some(path),
+            ("skip_serializing_if", Some(path)) => field.skip_if = Some(path),
+            (other, _) => panic!(
+                "derive({item}): unsupported serde attribute `{other}` \
+                 (the shim honours default / skip_serializing_if only)"
+            ),
+        }
+    }
 }
 
 /// The field name in a `vis name: Type` chunk (attributes skipped).
