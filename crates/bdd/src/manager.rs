@@ -3,12 +3,147 @@
 use crate::fnv::{map_with_capacity, FnvMap};
 use crate::node::{NodeTable, Ref, FALSE, TRUE};
 
-/// Initial memo-cache sizing (entries). Sized so a typical header-space
-/// verification run never rehashes the op cache.
-const OP_CACHE_CAPACITY: usize = 1 << 12;
+/// Entry count of the direct-mapped persistent `apply` cache (the
+/// `Cached` profile's cross-call memo). Power of two; fixed for the
+/// manager's lifetime — collisions overwrite (lossy replacement, the
+/// CUDD "computed table" policy) instead of growing the table.
+const OP_CACHE_WAYS: usize = 1 << 14;
+/// Entry count of the direct-mapped persistent `not` cache.
+const NOT_CACHE_WAYS: usize = 1 << 12;
 /// Initial sizing of the per-call scratch memos (the `Uncached`
 /// profile's within-call tables).
 const SCRATCH_CAPACITY: usize = 1 << 8;
+
+/// Empty-slot sentinel for the direct-mapped caches: arena indices
+/// never reach `u32::MAX`.
+const EMPTY_KEY: u32 = u32::MAX;
+
+#[inline]
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpEntry {
+    a: u32,
+    b: u32,
+    r: u32,
+    op: Op,
+}
+
+/// Bounded direct-mapped memo for binary `apply` results. One slot per
+/// hash bucket; a colliding key simply overwrites (and is counted as an
+/// eviction). Lossiness is invisible to results: a lost entry only
+/// means the recursion re-derives a node that already exists in the
+/// unique table, so the hash-cons hit returns the identical index.
+#[derive(Debug)]
+struct ApplyCache {
+    entries: Box<[OpEntry]>,
+    mask: u64,
+    evictions: u64,
+}
+
+impl ApplyCache {
+    fn new(ways: usize) -> Self {
+        debug_assert!(ways.is_power_of_two());
+        ApplyCache {
+            entries: vec![OpEntry { a: EMPTY_KEY, b: 0, r: 0, op: Op::And }; ways]
+                .into_boxed_slice(),
+            mask: (ways - 1) as u64,
+            evictions: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, op: Op, a: u32, b: u32) -> usize {
+        let h = (a as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (b as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ ((op as u64 + 1).wrapping_mul(0x1656_67B1_9E37_79F9));
+        (mix64(h) & self.mask) as usize
+    }
+
+    #[inline]
+    fn get(&self, op: Op, a: u32, b: u32) -> Option<u32> {
+        let e = &self.entries[self.slot(op, a, b)];
+        if e.a == a && e.b == b && e.op == op && a != EMPTY_KEY {
+            Some(e.r)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, op: Op, a: u32, b: u32, r: u32) {
+        let s = self.slot(op, a, b);
+        let e = &mut self.entries[s];
+        if e.a != EMPTY_KEY && !(e.a == a && e.b == b && e.op == op) {
+            self.evictions += 1;
+        }
+        *e = OpEntry { a, b, r, op };
+    }
+
+    fn clear(&mut self) {
+        for e in self.entries.iter_mut() {
+            e.a = EMPTY_KEY;
+        }
+    }
+}
+
+/// Bounded direct-mapped memo for `not` results (including the
+/// involution entries `r → a`).
+#[derive(Debug)]
+struct NotCache {
+    entries: Box<[(u32, u32)]>,
+    mask: u64,
+    evictions: u64,
+}
+
+impl NotCache {
+    fn new(ways: usize) -> Self {
+        debug_assert!(ways.is_power_of_two());
+        NotCache {
+            entries: vec![(EMPTY_KEY, 0); ways].into_boxed_slice(),
+            mask: (ways - 1) as u64,
+            evictions: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, a: u32) -> usize {
+        (mix64((a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) & self.mask) as usize
+    }
+
+    #[inline]
+    fn get(&self, a: u32) -> Option<u32> {
+        let (k, r) = self.entries[self.slot(a)];
+        if k == a && a != EMPTY_KEY {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, a: u32, r: u32) {
+        let s = self.slot(a);
+        let e = &mut self.entries[s];
+        if e.0 != EMPTY_KEY && e.0 != a {
+            self.evictions += 1;
+        }
+        *e = (a, r);
+    }
+
+    fn clear(&mut self) {
+        for e in self.entries.iter_mut() {
+            e.0 = EMPTY_KEY;
+        }
+    }
+}
 
 /// How aggressively the engine memoises operation results.
 ///
@@ -45,6 +180,15 @@ pub struct ManagerStats {
     pub gc_runs: u64,
     /// Nodes reclaimed across all GC runs.
     pub gc_reclaimed: u64,
+    /// Fixed entry count of the direct-mapped `apply` cache. The cache
+    /// never grows past this bound for the manager's lifetime.
+    pub op_cache_capacity: usize,
+    /// Fixed entry count of the direct-mapped `not` cache.
+    pub not_cache_capacity: usize,
+    /// Memo entries overwritten by a colliding key (the lossy
+    /// direct-mapped replacement policy at work). Never resets, even
+    /// across [`BddManager::gc`].
+    pub cache_evictions: u64,
 }
 
 /// A manager owning a node table and (profile-dependent) memo caches.
@@ -58,8 +202,8 @@ pub struct BddManager {
     table: NodeTable,
     num_vars: u32,
     profile: EngineProfile,
-    op_cache: FnvMap<(Op, u32, u32), u32>,
-    not_cache: FnvMap<u32, u32>,
+    op_cache: ApplyCache,
+    not_cache: NotCache,
     /// Reusable within-call memo for `not`. Cleared before every call,
     /// so the `Uncached` profile's semantics (memoisation only inside a
     /// single operation) are unchanged — only the per-call allocation
@@ -75,12 +219,24 @@ impl BddManager {
     /// Create a manager over `num_vars` boolean variables (ordered by
     /// their index) with the given engine profile.
     pub fn new(num_vars: u32, profile: EngineProfile) -> Self {
+        Self::with_cache_ways(num_vars, profile, OP_CACHE_WAYS, NOT_CACHE_WAYS)
+    }
+
+    /// Construction with explicit cache sizing; crate-internal so tests
+    /// can force collisions with tiny caches. Production managers all
+    /// go through [`BddManager::new`] with the fixed default ways.
+    pub(crate) fn with_cache_ways(
+        num_vars: u32,
+        profile: EngineProfile,
+        op_ways: usize,
+        not_ways: usize,
+    ) -> Self {
         BddManager {
             table: NodeTable::new(),
             num_vars,
             profile,
-            op_cache: map_with_capacity(OP_CACHE_CAPACITY),
-            not_cache: map_with_capacity(OP_CACHE_CAPACITY / 4),
+            op_cache: ApplyCache::new(op_ways),
+            not_cache: NotCache::new(not_ways),
             not_scratch: map_with_capacity(SCRATCH_CAPACITY),
             apply_scratch: map_with_capacity(SCRATCH_CAPACITY),
             stats: ManagerStats::default(),
@@ -146,9 +302,15 @@ impl BddManager {
         self.profile
     }
 
-    /// Work counters accumulated since creation.
+    /// Work counters accumulated since creation, plus the (fixed)
+    /// memo-cache geometry and the running eviction count.
     pub fn stats(&self) -> ManagerStats {
-        self.stats
+        ManagerStats {
+            op_cache_capacity: self.op_cache.entries.len(),
+            not_cache_capacity: self.not_cache.entries.len(),
+            cache_evictions: self.op_cache.evictions + self.not_cache.evictions,
+            ..self.stats
+        }
     }
 
     /// Number of live non-terminal nodes in the table.
@@ -402,7 +564,7 @@ impl BddManager {
             1 => return 0,
             _ => {}
         }
-        if let Some(&r) = self.not_cache.get(&a) {
+        if let Some(r) = self.not_cache.get(a) {
             self.stats.apply_hits += 1;
             return r;
         }
@@ -417,12 +579,12 @@ impl BddManager {
         let r = if l == h { l } else { self.table.mk(var, l, h) };
         match self.profile {
             EngineProfile::Cached => {
-                self.not_cache.insert(a, r);
+                self.not_cache.put(a, r);
                 // Negation is an involution on ROBDDs, so the reverse
                 // mapping is equally valid — the ITE-style short
                 // circuit that makes ¬¬f (ubiquitous in diff/implies
                 // chains) a hit instead of a second full traversal.
-                self.not_cache.insert(r, a);
+                self.not_cache.put(r, a);
             }
             EngineProfile::Uncached => {
                 local.insert(a, r);
@@ -441,7 +603,7 @@ impl BddManager {
             1 => return Ok(0),
             _ => {}
         }
-        if let Some(&r) = self.not_cache.get(&a) {
+        if let Some(r) = self.not_cache.get(a) {
             self.stats.apply_hits += 1;
             return Ok(r);
         }
@@ -456,8 +618,8 @@ impl BddManager {
         let r = if l == h { l } else { self.mk_checked(var, l, h)? };
         match self.profile {
             EngineProfile::Cached => {
-                self.not_cache.insert(a, r);
-                self.not_cache.insert(r, a);
+                self.not_cache.put(a, r);
+                self.not_cache.put(r, a);
             }
             EngineProfile::Uncached => {
                 local.insert(a, r);
@@ -480,7 +642,7 @@ impl BddManager {
             Op::And | Op::Or | Op::Xor => (a.min(b), a.max(b)),
             Op::Diff => (a, b),
         };
-        if let Some(&r) = self.op_cache.get(&(op, ka, kb)) {
+        if let Some(r) = self.op_cache.get(op, ka, kb) {
             self.stats.apply_hits += 1;
             return Ok(r);
         }
@@ -502,7 +664,7 @@ impl BddManager {
 
         match self.profile {
             EngineProfile::Cached => {
-                self.op_cache.insert((op, ka, kb), r);
+                self.op_cache.put(op, ka, kb, r);
             }
             EngineProfile::Uncached => {
                 local.insert((ka, kb), r);
@@ -577,7 +739,7 @@ impl BddManager {
             Op::And | Op::Or | Op::Xor => (a.min(b), a.max(b)),
             Op::Diff => (a, b),
         };
-        if let Some(&r) = self.op_cache.get(&(op, ka, kb)) {
+        if let Some(r) = self.op_cache.get(op, ka, kb) {
             self.stats.apply_hits += 1;
             return r;
         }
@@ -599,7 +761,7 @@ impl BddManager {
 
         match self.profile {
             EngineProfile::Cached => {
-                self.op_cache.insert((op, ka, kb), r);
+                self.op_cache.put(op, ka, kb, r);
             }
             EngineProfile::Uncached => {
                 local.insert((ka, kb), r);
@@ -973,6 +1135,48 @@ mod tests {
         let b = u.var(3);
         let diff = u.diff(a, b);
         assert_eq!(u.try_diff(a, b), Ok(diff), "uncached try_diff composes not+and");
+    }
+
+    #[test]
+    fn memo_caches_are_bounded_and_count_evictions() {
+        // Production geometry is fixed at construction and reported via
+        // stats(); the caches can never outgrow it.
+        let m = mgr();
+        assert_eq!(m.stats().op_cache_capacity, OP_CACHE_WAYS);
+        assert_eq!(m.stats().not_cache_capacity, NOT_CACHE_WAYS);
+        assert_eq!(m.stats().cache_evictions, 0);
+
+        // A deliberately tiny cache forces collisions: more distinct
+        // memo keys than slots must evict (pigeonhole), while results
+        // stay correct because lost entries only cause re-derivation
+        // through the unique table.
+        let mut tiny = BddManager::with_cache_ways(12, EngineProfile::Cached, 8, 4);
+        let mut f = FALSE;
+        for i in 0..12 {
+            let v = tiny.var(i);
+            let w = tiny.var((i + 5) % 12);
+            let c = tiny.and(v, w);
+            f = tiny.xor(f, c);
+        }
+        let nf = tiny.not(f);
+        assert_eq!(tiny.xor(f, nf), TRUE);
+        let s = tiny.stats();
+        assert_eq!(s.op_cache_capacity, 8, "capacity must not grow under load");
+        assert_eq!(s.not_cache_capacity, 4);
+        assert!(s.apply_misses > 8, "workload must overflow the op cache");
+        assert!(s.cache_evictions > 0, "colliding keys must be counted as evictions");
+
+        // The same workload on a production-sized manager agrees on
+        // every result (lossy replacement never changes semantics).
+        let mut big = BddManager::new(12, EngineProfile::Cached);
+        let mut g = FALSE;
+        for i in 0..12 {
+            let v = big.var(i);
+            let w = big.var((i + 5) % 12);
+            let c = big.and(v, w);
+            g = big.xor(g, c);
+        }
+        assert_eq!(g, f, "tiny-cache and big-cache managers must mint identically");
     }
 
     #[test]

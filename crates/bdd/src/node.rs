@@ -4,8 +4,14 @@
 //! and the JDD library the paper's participants used): nodes live in a
 //! flat arena indexed by [`Ref`], terminals occupy slots 0 and 1, and a
 //! unique table guarantees that structurally equal nodes are shared.
-
-use crate::fnv::{map_with_capacity, FnvMap};
+//!
+//! The unique table is a power-of-two open-addressing array of arena
+//! indices with triple-hashed linear probing — the node key `(var, low,
+//! high)` is never stored twice, probes read it straight out of the
+//! arena. Hash-cons semantics are identical to a `(var, low, high) →
+//! index` map (locked in by the proptest against an `FnvMap` reference
+//! below), so mint order — and therefore every `Ref` this crate ever
+//! hands out — is a canonical function of the `mk` call stream alone.
 
 /// A handle to a BDD node. `Ref`s are only meaningful relative to the
 /// [`crate::BddManager`] that produced them.
@@ -49,11 +55,120 @@ pub(crate) struct Node {
 /// cascade that dominated `Manager::new`-heavy profiles.
 pub(crate) const INITIAL_NODES: usize = 1 << 12;
 
+/// Empty-slot sentinel in the unique table. Arena indices never reach
+/// `u32::MAX` (the arena would exhaust memory long before).
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Triple-hash the node key: each component gets its own odd 64-bit
+/// multiplier, then a splitmix-style avalanche spreads the entropy into
+/// the low bits that the power-of-two mask keeps. The constants and the
+/// probe order are fixed, so slot layout — and more importantly the
+/// hit/miss behaviour of `mk` — is a pure function of the key stream.
+#[inline]
+fn hash_triple(var: u32, low: u32, high: u32) -> u64 {
+    let mut h = (var as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= (low as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= (high as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^ (h >> 32)
+}
+
+/// Open-addressed set of arena indices keyed by the node triple stored
+/// in the arena itself. Linear probing, power-of-two capacity, resize
+/// at 3/4 load. No tombstones: deletion only happens wholesale during
+/// GC, which rebuilds the table from the arena in index order.
+#[derive(Debug)]
+struct UniqueTable {
+    slots: Box<[u32]>,
+    mask: u64,
+    len: usize,
+}
+
+impl UniqueTable {
+    fn with_pow2_slots(slots: usize) -> Self {
+        debug_assert!(slots.is_power_of_two());
+        UniqueTable {
+            slots: vec![EMPTY_SLOT; slots].into_boxed_slice(),
+            mask: (slots - 1) as u64,
+            len: 0,
+        }
+    }
+
+    /// Find the arena index holding `(var, low, high)`, if any.
+    #[inline]
+    fn lookup(&self, nodes: &[Node], var: u32, low: u32, high: u32) -> Option<u32> {
+        let mut i = (hash_triple(var, low, high) & self.mask) as usize;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY_SLOT {
+                return None;
+            }
+            let n = &nodes[s as usize];
+            if n.var == var && n.low == low && n.high == high {
+                return Some(s);
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// Insert `idx` (whose key must be absent). The node must already
+    /// be written to `nodes[idx]` so probing can read its key.
+    fn insert(&mut self, nodes: &[Node], idx: u32) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow(nodes);
+        }
+        let n = &nodes[idx as usize];
+        let mut i = (hash_triple(n.var, n.low, n.high) & self.mask) as usize;
+        while self.slots[i] != EMPTY_SLOT {
+            i = (i + 1) & self.mask as usize;
+        }
+        self.slots[i] = idx;
+        self.len += 1;
+    }
+
+    fn grow(&mut self, nodes: &[Node]) {
+        let doubled = vec![EMPTY_SLOT; self.slots.len() * 2].into_boxed_slice();
+        let old = std::mem::replace(&mut self.slots, doubled);
+        self.mask = (self.slots.len() - 1) as u64;
+        for &idx in old.iter() {
+            if idx == EMPTY_SLOT {
+                continue;
+            }
+            let n = &nodes[idx as usize];
+            let mut i = (hash_triple(n.var, n.low, n.high) & self.mask) as usize;
+            while self.slots[i] != EMPTY_SLOT {
+                i = (i + 1) & self.mask as usize;
+            }
+            self.slots[i] = idx;
+        }
+    }
+
+    /// Re-hash every live non-terminal node after a GC sweep. Arena
+    /// index order makes the rebuilt layout deterministic (and lookup
+    /// results never depended on layout to begin with).
+    fn rebuild(&mut self, nodes: &[Node]) {
+        self.slots.fill(EMPTY_SLOT);
+        self.len = 0;
+        for (i, n) in nodes.iter().enumerate().skip(2) {
+            if !n.alive {
+                continue;
+            }
+            let mut s = (hash_triple(n.var, n.low, n.high) & self.mask) as usize;
+            while self.slots[s] != EMPTY_SLOT {
+                s = (s + 1) & self.mask as usize;
+            }
+            self.slots[s] = i as u32;
+            self.len += 1;
+        }
+    }
+}
+
 /// The node arena plus the unique (hash-consing) table.
 #[derive(Debug)]
 pub(crate) struct NodeTable {
     nodes: Vec<Node>,
-    unique: FnvMap<(u32, u32, u32), u32>,
+    unique: UniqueTable,
     free: Vec<u32>,
     /// Live non-terminal node count, maintained incrementally so the
     /// per-`mk` capacity check in [`NodeTable::mk_capped`] is O(1)
@@ -75,7 +190,9 @@ impl NodeTable {
         nodes.push(terminal(1));
         NodeTable {
             nodes,
-            unique: map_with_capacity(INITIAL_NODES),
+            // 2× the arena pre-size keeps the load factor under 1/2
+            // until the arena itself has to grow.
+            unique: UniqueTable::with_pow2_slots(INITIAL_NODES * 2),
             free: Vec::new(),
             live: 0,
         }
@@ -85,7 +202,7 @@ impl NodeTable {
     /// already applied the ROBDD reduction rule (`low != high`).
     pub fn mk(&mut self, var: u32, low: u32, high: u32) -> u32 {
         debug_assert_ne!(low, high, "reduction rule violated");
-        if let Some(&idx) = self.unique.get(&(var, low, high)) {
+        if let Some(idx) = self.unique.lookup(&self.nodes, var, low, high) {
             return idx;
         }
         self.mint(var, low, high)
@@ -99,7 +216,7 @@ impl NodeTable {
     /// leaves the table untouched in that case.
     pub fn mk_capped(&mut self, var: u32, low: u32, high: u32, cap: usize) -> Result<u32, usize> {
         debug_assert_ne!(low, high, "reduction rule violated");
-        if let Some(&idx) = self.unique.get(&(var, low, high)) {
+        if let Some(idx) = self.unique.lookup(&self.nodes, var, low, high) {
             return Ok(idx);
         }
         if self.live >= cap {
@@ -118,7 +235,7 @@ impl NodeTable {
             self.nodes.push(node);
             idx
         };
-        self.unique.insert((var, low, high), idx);
+        self.unique.insert(&self.nodes, idx);
         self.live += 1;
         idx
     }
@@ -153,6 +270,11 @@ impl NodeTable {
     /// positive external reference count. Returns the number of reclaimed
     /// nodes. The caller is responsible for clearing any memo caches that
     /// might reference reclaimed nodes.
+    ///
+    /// The open-addressed unique table has no per-key deletion (no
+    /// tombstones); the sweep rebuilds it from the surviving arena in
+    /// index order instead, which is both deterministic and cheaper
+    /// than N probe-chain repairs.
     pub fn gc(&mut self) -> usize {
         let mut marked = vec![false; self.nodes.len()];
         marked[0] = true;
@@ -175,12 +297,13 @@ impl NodeTable {
         let mut reclaimed = 0;
         for (i, &kept) in marked.iter().enumerate().skip(2) {
             if self.nodes[i].alive && !kept {
-                let n = self.nodes[i];
-                self.unique.remove(&(n.var, n.low, n.high));
                 self.nodes[i].alive = false;
                 self.free.push(i as u32);
                 reclaimed += 1;
             }
+        }
+        if reclaimed > 0 {
+            self.unique.rebuild(&self.nodes);
         }
         self.live -= reclaimed;
         reclaimed
@@ -190,6 +313,8 @@ impl NodeTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fnv::FnvMap;
+    use proptest::prelude::*;
 
     #[test]
     fn terminals_are_preallocated() {
@@ -270,5 +395,79 @@ mod tests {
         t.gc();
         let b = t.mk(5, 0, 1);
         assert_eq!(a, b, "freed slot should be recycled");
+    }
+
+    #[test]
+    fn gc_rebuild_keeps_survivors_findable() {
+        let mut t = NodeTable::new();
+        let child = t.mk(3, 0, 1);
+        let parent = t.mk(1, 0, child);
+        let orphan = t.mk(2, 1, 0);
+        t.get_mut(parent).refs = 1;
+        assert_eq!(t.gc(), 1);
+        // Survivors still hash-cons to their original indices after the
+        // table rebuild…
+        assert_eq!(t.mk(3, 0, 1), child);
+        assert_eq!(t.mk(1, 0, child), parent);
+        // …and the reclaimed key mints a fresh node in the freed slot.
+        assert_eq!(t.mk(2, 1, 0), orphan);
+        assert_eq!(t.live_count(), t.live_count_scan());
+    }
+
+    #[test]
+    fn table_grows_past_initial_sizing() {
+        // Mint enough distinct nodes to force several unique-table
+        // resizes and at least one arena regrowth.
+        let mut t = NodeTable::new();
+        let n = (INITIAL_NODES * 2) as u32;
+        let mut idxs = Vec::new();
+        for v in 0..n {
+            idxs.push(t.mk(v, 0, 1));
+        }
+        assert_eq!(t.live_count(), n as usize);
+        // Every node is still findable (pure hash-cons hits).
+        for (v, &idx) in idxs.iter().enumerate() {
+            assert_eq!(t.mk(v as u32, 0, 1), idx);
+        }
+        assert_eq!(t.live_count(), n as usize);
+    }
+
+    proptest! {
+        /// The flat open-addressed unique table must mint the exact
+        /// same `Ref` sequence as the tuple-keyed `FnvMap` it replaced,
+        /// on arbitrary `mk` streams whose operands reference earlier
+        /// results. This is the determinism contract: node numbering is
+        /// a canonical function of the call stream, independent of hash
+        /// layout.
+        #[test]
+        fn flat_unique_table_matches_fnv_map_reference(
+            ops in proptest::collection::vec(
+                (0u32..24, any::<u32>(), any::<u32>()),
+                1..400,
+            )
+        ) {
+            let mut t = NodeTable::new();
+            let mut reference: FnvMap<(u32, u32, u32), u32> = FnvMap::default();
+            let mut next_idx = 2u32;
+            let mut handles: Vec<u32> = vec![0, 1];
+            for (var, lo_sel, hi_sel) in ops {
+                let low = handles[lo_sel as usize % handles.len()];
+                let mut high = handles[hi_sel as usize % handles.len()];
+                if high == low {
+                    // keep the reduction rule: pick the other terminal
+                    high = if low == 0 { 1 } else { 0 };
+                }
+                let got = t.mk(var, low, high);
+                let want = *reference.entry((var, low, high)).or_insert_with(|| {
+                    let i = next_idx;
+                    next_idx += 1;
+                    i
+                });
+                prop_assert_eq!(got, want, "mk({}, {}, {}) diverged", var, low, high);
+                handles.push(got);
+            }
+            prop_assert_eq!(t.live_count(), reference.len());
+            prop_assert_eq!(t.live_count(), t.live_count_scan());
+        }
     }
 }

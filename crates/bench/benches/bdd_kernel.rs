@@ -1,0 +1,56 @@
+//! Criterion bench for the flat BDD kernel itself: raw `mk` minting
+//! throughput through the open-addressed unique table, and `apply`
+//! throughput through the direct-mapped op/not caches — the two paths
+//! the flat-table rewrite targets, isolated from the verifier stacks
+//! that sit on top of them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrepro_bdd::{BddManager, EngineProfile};
+
+/// Hash-consing throughput: mint a large family of distinct prefix
+/// predicates, exercising unique-table probes, growth and reduction
+/// hits without touching the apply caches.
+fn bench_mk_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd_kernel");
+    g.bench_function("mk_prefix_mint", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new(32, EngineProfile::Cached);
+            let mut last = netrepro_bdd::FALSE;
+            for i in 0..512u64 {
+                last = m.field_prefix(0, 32, (i * 2654435761) % (1 << 20), 20);
+            }
+            last
+        })
+    });
+    g.finish();
+}
+
+/// Apply-chain throughput under both engine profiles: long and/or/not
+/// chains over a fixed variable set, the access pattern the op and not
+/// caches serve.
+fn bench_apply_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd_kernel");
+    for (label, profile) in
+        [("cached", EngineProfile::Cached), ("uncached", EngineProfile::Uncached)]
+    {
+        g.bench_with_input(BenchmarkId::new("apply_chain", label), &profile, |b, &profile| {
+            b.iter(|| {
+                let mut m = BddManager::new(24, profile);
+                let mut acc = m.var(0);
+                for round in 0..50u32 {
+                    for v in 0..24u32 {
+                        let x = m.var((v + round) % 24);
+                        acc = if v % 2 == 0 { m.and(acc, x) } else { m.or(acc, x) };
+                        let n = m.not(acc);
+                        acc = m.or(acc, n);
+                    }
+                }
+                m.sat_count(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mk_throughput, bench_apply_throughput);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind the kernel-pass speedup claims: the
+//! `lp_scale` ladder (1×/10×/100× NCFlow-style MCF instances from
+//! `core::validate::lp_scale_specs`) with the sparse-LU revised simplex
+//! at every rung and the dense tableau solver only where its cubic cost
+//! stays tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrepro_core::validate::{lp_scale_instance, lp_scale_specs};
+use netrepro_lp::dense::DenseSimplex;
+use netrepro_lp::revised::RevisedSimplex;
+use netrepro_lp::LpSolver;
+use netrepro_te::mcf::solve_mcf;
+
+fn bench_lp_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_scale");
+    g.sample_size(10);
+    for spec in lp_scale_specs() {
+        let inst = lp_scale_instance(&spec);
+        let revised = RevisedSimplex::default();
+        g.bench_with_input(BenchmarkId::new("revised", spec.label), &inst, |b, inst| {
+            b.iter(|| solve_mcf(inst, &revised as &dyn LpSolver).unwrap().total_flow)
+        });
+        if spec.run_dense {
+            let dense = DenseSimplex::default();
+            g.bench_with_input(BenchmarkId::new("dense", spec.label), &inst, |b, inst| {
+                b.iter(|| solve_mcf(inst, &dense as &dyn LpSolver).unwrap().total_flow)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lp_scale);
+criterion_main!(benches);

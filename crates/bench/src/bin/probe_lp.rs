@@ -1,0 +1,39 @@
+//! Internal scale probe (not an experiment binary): sizes the
+//! `lp_scale` ladder so the dense solver stays tractable at 10× while
+//! the revised-vs-dense gap clears the bench gate's ≥5× floor.
+
+use netrepro_core::validate::te_instance;
+use netrepro_graph::gen::TopologySpec;
+use netrepro_lp::dense::DenseSimplex;
+use netrepro_lp::revised::RevisedSimplex;
+use netrepro_lp::LpSolver;
+use netrepro_te::mcf::solve_mcf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let commodities: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let paths: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let dense: bool = args.get(4).map(|s| s == "dense").unwrap_or(false);
+
+    let inst = te_instance(&TopologySpec::new("lpscale", nodes, 2023), commodities, paths);
+    let t = Instant::now();
+    let r = solve_mcf(&inst, &RevisedSimplex::default()).unwrap();
+    let rt = t.elapsed();
+    println!(
+        "nodes={nodes} k={commodities} paths={paths}: revised {rt:?} obj={:.3} iters={}",
+        r.total_flow, r.lp_iterations
+    );
+    if dense {
+        let t = Instant::now();
+        let d = solve_mcf(&inst, &DenseSimplex::default() as &dyn LpSolver).unwrap();
+        let dt = t.elapsed();
+        println!(
+            "  dense {dt:?} obj={:.3} ratio={:.1}x objdiff={:.2e}",
+            d.total_flow,
+            dt.as_secs_f64() / rt.as_secs_f64(),
+            (d.total_flow - r.total_flow).abs()
+        );
+    }
+}

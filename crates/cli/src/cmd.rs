@@ -1233,6 +1233,26 @@ struct BddBench {
     applies_per_sec: f64,
 }
 
+/// One rung of the `lp_scale` ladder: the sparse-LU revised simplex
+/// vs the dense tableau solver on an NCFlow-style MCF instance.
+#[derive(serde::Serialize)]
+struct LpScaleRow {
+    scale: String,
+    nodes: u64,
+    commodities: u64,
+    lp_rows: u64,
+    lp_cols: u64,
+    revised_secs: f64,
+    revised_iterations: u64,
+    /// `None` when the dense solver is skipped (the 100× rung, where
+    /// its cubic tableau is intractable).
+    dense_secs: Option<f64>,
+    dense_over_revised: Option<f64>,
+    /// Deterministic invariant, not a timing: whenever both solvers
+    /// run, their objectives must agree to relative 1e-6.
+    objectives_match: bool,
+}
+
 /// One shard-count row of the sharded-sweep bench.
 #[derive(serde::Serialize)]
 struct ShardBenchRun {
@@ -1270,6 +1290,7 @@ struct BenchReport {
     sweep_shards: Vec<ShardBenchRun>,
     dpv_scale: DpvScaleBench,
     lp: LpBench,
+    lp_scale: Vec<LpScaleRow>,
     bdd: BddBench,
 }
 
@@ -1404,6 +1425,51 @@ fn bench_lp() -> Result<LpBench, ArgError> {
     })
 }
 
+/// The `lp_scale` ladder (see `core::validate::lp_scale_specs`):
+/// revised at every rung, dense only where tractable, objectives
+/// cross-checked whenever both run. `quick` drops the revised-only
+/// 100× rung so the CI gate stays fast; the 10× rung — where the ≥5×
+/// speedup floor is enforced — runs in both modes.
+fn bench_lp_scale(quick: bool) -> Result<Vec<LpScaleRow>, ArgError> {
+    use netrepro_core::validate::{lp_scale_instance, lp_scale_specs};
+    use netrepro_te::mcf::solve_mcf;
+    let mut rows = Vec::new();
+    for spec in lp_scale_specs() {
+        if quick && !spec.run_dense {
+            continue;
+        }
+        let inst = lp_scale_instance(&spec);
+        let t0 = std::time::Instant::now();
+        let revised = solve_mcf(&inst, &RevisedSimplex::default())
+            .map_err(|e| ArgError(format!("lp_scale {} revised: {e}", spec.label)))?;
+        let revised_secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let (dense_secs, dense_over_revised, objectives_match) = if spec.run_dense {
+            let t1 = std::time::Instant::now();
+            let dense = solve_mcf(&inst, &DenseSimplex::default())
+                .map_err(|e| ArgError(format!("lp_scale {} dense: {e}", spec.label)))?;
+            let secs = t1.elapsed().as_secs_f64().max(1e-9);
+            let rel = (dense.total_flow - revised.total_flow).abs()
+                / revised.total_flow.abs().max(1.0);
+            (Some(secs), Some(secs / revised_secs), rel <= 1e-6)
+        } else {
+            (None, None, true)
+        };
+        rows.push(LpScaleRow {
+            scale: spec.label.to_string(),
+            nodes: spec.nodes as u64,
+            commodities: spec.commodities as u64,
+            lp_rows: inst.graph.num_edges() as u64 + spec.commodities as u64,
+            lp_cols: (spec.commodities * spec.paths) as u64,
+            revised_secs,
+            revised_iterations: revised.lp_iterations,
+            dense_secs,
+            dense_over_revised,
+            objectives_match,
+        });
+    }
+    Ok(rows)
+}
+
 fn bench_bdd() -> BddBench {
     use netrepro_bdd::BddManager;
     const VARS: u32 = 24;
@@ -1465,6 +1531,9 @@ fn within_tolerance(current: f64, baseline: f64, tol: f64) -> bool {
 fn bench_check(current: &BenchReport, baseline: &serde_json::Value) -> Result<(), ArgError> {
     const TOL: f64 = 0.20;
     const SPEEDUP_FLOOR: f64 = 1.5;
+    /// Revised-vs-dense floor on the 10× `lp_scale` rung: the sparse-LU
+    /// kernel must keep the fast-vs-slow solver gap wide open.
+    const LP_SCALE_FLOOR: f64 = 5.0;
     let mut failures: Vec<String> = Vec::new();
 
     for (name, section) in &current.sections {
@@ -1506,6 +1575,28 @@ fn bench_check(current: &BenchReport, baseline: &serde_json::Value) -> Result<()
         failures.push(
             "dpv_scale: partitioned verdict stream diverged from the serial verifier".to_string(),
         );
+    }
+    // lp_scale gates are invariants of *this* run (objectives must
+    // agree wherever both solvers ran; the 10× rung must clear the
+    // revised-vs-dense floor), independent of any baseline.
+    for row in &current.lp_scale {
+        if !row.objectives_match {
+            failures.push(format!(
+                "lp_scale {}: revised and dense objectives diverged",
+                row.scale
+            ));
+        }
+        if row.scale == "10x" {
+            match row.dense_over_revised {
+                Some(ratio) if ratio < LP_SCALE_FLOOR => failures.push(format!(
+                    "lp_scale 10x: dense/revised {ratio:.1}x below the {LP_SCALE_FLOOR}x floor"
+                )),
+                Some(_) => {}
+                None => failures.push(
+                    "lp_scale 10x: dense solver row missing, floor not provable".to_string(),
+                ),
+            }
+        }
     }
     let base_lp_hit = baseline["lp"]["hit_rate"].as_f64().unwrap_or(0.0);
     if !within_tolerance(current.lp.hit_rate, base_lp_hit, TOL) {
@@ -1573,15 +1664,16 @@ pub fn bench(a: &Args) -> CmdResult {
     }
 
     let report = BenchReport {
-        id: "bench_6".to_string(),
-        caption: "cold vs warm sweep throughput, sharded-merge pipeline, and solver-kernel \
-                  micro-benchmarks"
+        id: "bench_7".to_string(),
+        caption: "cold vs warm sweep throughput, sharded-merge pipeline, solver-kernel \
+                  micro-benchmarks, and the lp_scale revised-vs-dense ladder"
             .to_string(),
         cache_scheme: netrepro_core::cache::SCHEME.to_string(),
         sections,
         sweep_shards,
         dpv_scale: bench_dpv_scale()?,
         lp: bench_lp()?,
+        lp_scale: bench_lp_scale(quick)?,
         bdd: bench_bdd(),
     };
 
@@ -1627,6 +1719,18 @@ pub fn bench(a: &Args) -> CmdResult {
             "lp: {:.0} solves/s cold, {:.0} solves/s cached (hit rate {:.3})",
             report.lp.cold_solves_per_sec, report.lp.cached_solves_per_sec, report.lp.hit_rate
         );
+        for r in &report.lp_scale {
+            match (r.dense_secs, r.dense_over_revised) {
+                (Some(d), Some(ratio)) => println!(
+                    "lp_scale {}: revised {:.3}s, dense {:.3}s ({:.1}x, objectives match: {})",
+                    r.scale, r.revised_secs, d, ratio, r.objectives_match
+                ),
+                _ => println!(
+                    "lp_scale {}: revised {:.3}s ({} iterations, dense skipped)",
+                    r.scale, r.revised_secs, r.revised_iterations
+                ),
+            }
+        }
         println!("bdd: {:.0} applies/s", report.bdd.applies_per_sec);
     }
 

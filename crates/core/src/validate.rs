@@ -99,6 +99,47 @@ pub fn te_instance(spec: &TopologySpec, commodities: usize, paths: usize) -> TeI
     }
 }
 
+/// One rung of the `lp_scale` ladder: an NCFlow-style MCF instance at
+/// a multiple of the Table-A baseline size. The dense tableau solver is
+/// only run where its cubic cost stays tractable (`run_dense`); the
+/// revised simplex must solve every rung.
+#[derive(Debug, Clone, Copy)]
+pub struct LpScaleSpec {
+    /// Rung label (`"1x"`, `"10x"`, `"100x"`).
+    pub label: &'static str,
+    /// Waxman topology size.
+    pub nodes: usize,
+    /// Engineered commodities.
+    pub commodities: usize,
+    /// Tunnels per commodity.
+    pub paths: usize,
+    /// Whether the dense solver participates (objective cross-check and
+    /// the revised-vs-dense speedup gate need both solvers).
+    pub run_dense: bool,
+}
+
+/// The `lp_scale` ladder shared by `netrepro bench` and the Criterion
+/// `lp_scale` group: 1×/10×/100× of a small NCFlow-style instance.
+/// Sizes were probed so dense stays under a second at 10× (where the
+/// ≥5× speedup floor is gated) and is skipped at 100×.
+pub fn lp_scale_specs() -> Vec<LpScaleSpec> {
+    vec![
+        LpScaleSpec { label: "1x", nodes: 12, commodities: 16, paths: 4, run_dense: true },
+        LpScaleSpec { label: "10x", nodes: 40, commodities: 160, paths: 4, run_dense: true },
+        LpScaleSpec { label: "100x", nodes: 80, commodities: 1600, paths: 4, run_dense: false },
+    ]
+}
+
+/// Materialise one ladder rung as a [`TeInstance`] (seeded, so every
+/// consumer benches the identical model).
+pub fn lp_scale_instance(spec: &LpScaleSpec) -> TeInstance {
+    te_instance(
+        &TopologySpec::new(&format!("lpscale-{}", spec.label), spec.nodes, 2023),
+        spec.commodities,
+        spec.paths,
+    )
+}
+
 /// Participant A: NCFlow with the fast vs slow LP solver.
 pub fn validate_ncflow(inst: &TeInstance) -> Result<TeValidation, netrepro_te::TeError> {
     let cfg = NcFlowConfig::for_instance(inst);

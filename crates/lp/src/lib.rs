@@ -45,6 +45,7 @@ pub mod model;
 pub mod presolve;
 pub mod revised;
 pub mod standard;
+pub(crate) mod sparse_lu;
 
 pub use model::{ConstraintOp, Problem, Sense, VarId};
 pub use standard::StandardLp;

@@ -1,21 +1,43 @@
 //! A sparse revised simplex — the "Gurobi stand-in".
 //!
-//! The solver keeps an explicit dense basis inverse `B⁻¹` (refactorised
-//! from scratch periodically for numerical hygiene), prices columns with
-//! Dantzig's rule through the sparse constraint columns, and falls back
-//! to Bland's rule when a run of degenerate pivots suggests cycling.
+//! The basis is held as a sparse LU factorization ([`crate::sparse_lu`])
+//! plus a product-form eta file that grows by one column per pivot, so
+//! ftran/btran cost `O(nnz)` instead of the dense `O(m²)` of the old
+//! explicit `B⁻¹`. Refactorization is driven by eta-file growth and a
+//! periodic residual drift check, not a fixed cadence. Columns are
+//! priced with Devex reference weights and rows leave through a Harris
+//! two-pass ratio test — both with fixed deterministic tie-breaks, so
+//! the pivot sequence is a canonical function of the input — with
+//! Bland's rule taking over when a degenerate run suggests cycling.
 //! Combined with [`crate::presolve`], it is one to two orders of
 //! magnitude faster than [`crate::dense::DenseSimplex`] on the
 //! traffic-engineering LPs in this workspace — the gap Table A measures.
 
 use crate::cache::Fnv;
 use crate::presolve::presolve;
+use crate::sparse_lu::{Eta, SparseLu};
 use crate::standard::StandardLp;
 use crate::{LpError, LpSolver, Problem, Solution, Status};
 
 const TOL: f64 = 1e-9;
-const REFACTOR_EVERY: u64 = 256;
 const DEGENERATE_SWITCH: u32 = 40;
+/// Harris pass-1 feasibility relaxation: rows may go this far negative
+/// to buy a larger (more stable) pivot in pass 2.
+const FEAS_TOL: f64 = 1e-7;
+/// Minimum pivot magnitude admitted by the ratio tests.
+const RATIO_PIVOT_TOL: f64 = 1e-9;
+/// Residual drift check cadence (pivots) and threshold.
+const DRIFT_CHECK_EVERY: u64 = 64;
+const DRIFT_TOL: f64 = 1e-6;
+/// Devex reference-weight overflow: reset the frame past this.
+const DEVEX_RESET: f64 = 1e7;
+
+/// Eta-file length that forces a refactorization (on top of the nnz
+/// trigger): the classic `64 + m/4` compromise between update cost and
+/// refactorization cost.
+fn eta_limit(m: usize) -> usize {
+    64 + m / 4
+}
 
 /// An optimal basis exported from one solve, reusable as a warm start
 /// for the next ([`RevisedSimplex::solve_with_basis`]).
@@ -64,37 +86,23 @@ impl Default for RevisedSimplex {
     }
 }
 
-/// Dense row-major `m × m` matrix.
-struct Square {
-    m: usize,
-    a: Vec<f64>,
-}
-
-impl Square {
-    fn identity(m: usize) -> Self {
-        let mut a = vec![0.0; m * m];
-        for i in 0..m {
-            a[i * m + i] = 1.0;
-        }
-        Square { m, a }
-    }
-
-    #[inline]
-    fn row(&self, i: usize) -> &[f64] {
-        &self.a[i * self.m..(i + 1) * self.m]
-    }
-}
-
 struct Core<'a> {
     std: &'a StandardLp,
     /// Sparse columns including the artificial identity block.
     n_real: usize,
     basis: Vec<usize>,
     in_basis: Vec<bool>,
-    binv: Square,
+    /// LU of the basis at the last (re)factorization…
+    factor: SparseLu,
+    /// …composed with one eta per pivot since.
+    etas: Vec<Eta>,
+    eta_nnz: usize,
     xb: Vec<f64>,
     iterations: u64,
     degenerate_run: u32,
+    /// Devex reference weights, indexed like `in_basis` (real columns
+    /// then artificials); reset to the unit frame per phase.
+    devex: Vec<f64>,
 }
 
 enum Step {
@@ -117,10 +125,13 @@ impl<'a> Core<'a> {
             n_real,
             basis: (n_real..n_total).collect(),
             in_basis,
-            binv: Square::identity(m),
+            factor: SparseLu::identity(m),
+            etas: Vec::new(),
+            eta_nnz: 0,
             xb: std.b.clone(),
             iterations: 0,
             degenerate_run: 0,
+            devex: vec![1.0; n_total],
         }
     }
 
@@ -128,14 +139,16 @@ impl<'a> Core<'a> {
     /// identity. Returns `None` when the basis matrix turns out singular
     /// or the implied point is infeasible for the (possibly new) `b` —
     /// the caller then falls back to the ordinary two-phase cold start.
-    fn with_basis(std: &'a StandardLp, cols: Vec<usize>) -> Option<Self> {
+    /// Borrows the candidate columns: nothing is allocated until they
+    /// validate (the warm-start hot loop used to clone per call).
+    fn with_basis(std: &'a StandardLp, cols: &[usize]) -> Option<Self> {
         let m = std.m;
         let n_real = std.n();
         if cols.len() != m || cols.iter().any(|&j| j >= n_real) {
             return None;
         }
         let mut in_basis = vec![false; n_real + m];
-        for &j in &cols {
+        for &j in cols {
             if in_basis[j] {
                 return None; // repeated column: not a basis
             }
@@ -144,14 +157,17 @@ impl<'a> Core<'a> {
         let mut core = Core {
             std,
             n_real,
-            basis: cols,
+            basis: cols.to_vec(),
             in_basis,
-            binv: Square::identity(m),
+            factor: SparseLu::identity(m),
+            etas: Vec::new(),
+            eta_nnz: 0,
             xb: std.b.clone(),
             iterations: 0,
             degenerate_run: 0,
+            devex: vec![1.0; n_real + m],
         };
-        // One refactorisation replaces the whole of phase 1.
+        // One factorization replaces the whole of phase 1.
         if !core.refactorise() {
             return None;
         }
@@ -166,6 +182,17 @@ impl<'a> Core<'a> {
         Some(core)
     }
 
+    /// Materialize the current basis columns for factorization.
+    fn basis_cols(&self) -> Vec<Vec<(usize, f64)>> {
+        self.basis
+            .iter()
+            .map(|&j| match self.col(j) {
+                ColRef::Unit(r) => vec![(r, 1.0)],
+                ColRef::Sparse(col) => col.to_vec(),
+            })
+            .collect()
+    }
+
     /// Sparse column `j` (artificials are unit vectors).
     fn col(&self, j: usize) -> ColRef<'_> {
         if j < self.n_real {
@@ -175,40 +202,47 @@ impl<'a> Core<'a> {
         }
     }
 
-    /// `w = B⁻¹ a_j`.
+    /// `w = B⁻¹ a_j`: sparse gather, LU forward/back solve, then the
+    /// eta file in creation order. Result in basis-position space.
     fn ftran(&self, j: usize) -> Vec<f64> {
         let m = self.std.m;
         let mut w = vec![0.0; m];
         match self.col(j) {
-            ColRef::Unit(r) => {
-                for (i, wi) in w.iter_mut().enumerate() {
-                    *wi = self.binv.a[i * m + r];
-                }
-            }
+            ColRef::Unit(r) => w[r] = 1.0,
             ColRef::Sparse(col) => {
                 for &(r, v) in col {
-                    for (i, wi) in w.iter_mut().enumerate() {
-                        *wi += self.binv.a[i * m + r] * v;
-                    }
+                    w[r] += v;
                 }
             }
+        }
+        self.factor.ftran(&mut w);
+        for eta in &self.etas {
+            eta.apply_ftran(&mut w);
         }
         w
     }
 
-    /// `y = c_B B⁻¹`.
+    /// `y = c_B B⁻¹`: eta file in reverse creation order, then the LU
+    /// transpose solves. Result in original-row space (the duals).
     fn btran(&self, c: &dyn Fn(usize) -> f64) -> Vec<f64> {
-        let m = self.std.m;
-        let mut y = vec![0.0; m];
-        for (i, &b) in self.basis.iter().enumerate() {
-            let cb = c(b);
-            if cb != 0.0 {
-                let row = self.binv.row(i);
-                for j in 0..m {
-                    y[j] += cb * row[j];
-                }
-            }
+        let mut y: Vec<f64> = Vec::with_capacity(self.std.m);
+        y.extend(self.basis.iter().map(|&b| c(b)));
+        for eta in self.etas.iter().rev() {
+            eta.apply_btran(&mut y);
         }
+        self.factor.btran(&mut y);
+        y
+    }
+
+    /// `ρ = e_lr B⁻¹` — the pivot row of the inverse, needed by the
+    /// Devex weight update.
+    fn btran_unit(&self, lr: usize) -> Vec<f64> {
+        let mut y = vec![0.0; self.std.m];
+        y[lr] = 1.0;
+        for eta in self.etas.iter().rev() {
+            eta.apply_btran(&mut y);
+        }
+        self.factor.btran(&mut y);
         y
     }
 
@@ -220,48 +254,77 @@ impl<'a> Core<'a> {
         c(j) - dot
     }
 
+    /// Devex pricing: maximise `r_j² / w_j` over the improving columns.
+    /// Ascending scan with a strict-greater comparison makes the
+    /// tie-break "smallest column index" — fixed and deterministic.
+    fn price_devex(&self, y: &[f64], c: &dyn Fn(usize) -> f64, allow_below: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..allow_below {
+            if self.in_basis[j] {
+                continue;
+            }
+            let rj = self.reduced_cost(j, y, c);
+            if rj < -TOL {
+                let score = rj * rj / self.devex[j];
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((j, score));
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Devex reference-weight update after the pivot `(q, lr)`, using
+    /// the pivot row `ρ = e_lr B⁻¹` of the *pre-pivot* basis. Must run
+    /// before the eta for this pivot is pushed.
+    fn devex_update(&mut self, q: usize, lr: usize, alpha_q: f64, allow_below: usize) {
+        let rho = self.btran_unit(lr);
+        let wq = self.devex[q].max(1.0);
+        let ref_weight = wq / (alpha_q * alpha_q);
+        for j in 0..allow_below {
+            if self.in_basis[j] || j == q {
+                continue;
+            }
+            let alpha_j = match self.col(j) {
+                ColRef::Unit(r) => rho[r],
+                ColRef::Sparse(col) => col.iter().map(|&(r, v)| rho[r] * v).sum(),
+            };
+            if alpha_j != 0.0 {
+                let cand = alpha_j * alpha_j * ref_weight;
+                if cand > self.devex[j] {
+                    self.devex[j] = cand;
+                }
+            }
+        }
+        // The leaving variable re-enters the nonbasic pool with the
+        // reference weight; overflow resets the whole frame.
+        self.devex[self.basis[lr]] = ref_weight.max(1.0);
+        if ref_weight > DEVEX_RESET {
+            self.devex.fill(1.0);
+        }
+    }
+
     /// One simplex pivot under cost `c`, with entering candidates drawn
     /// from `0..allow_below`.
     fn step(&mut self, c: &dyn Fn(usize) -> f64, allow_below: usize) -> Step {
         let y = self.btran(c);
         let use_bland = self.degenerate_run >= DEGENERATE_SWITCH;
-        let mut entering: Option<(usize, f64)> = None;
-        for j in 0..allow_below {
-            if self.in_basis[j] {
-                continue;
-            }
-            let rj = self.reduced_cost(j, &y, c);
-            if rj < -TOL {
-                if use_bland {
-                    entering = Some((j, rj));
-                    break;
-                }
-                match entering {
-                    Some((_, best)) if rj >= best => {}
-                    _ => entering = Some((j, rj)),
-                }
-            }
-        }
-        let Some((q, _)) = entering else { return Step::Optimal };
+        let entering = if use_bland {
+            (0..allow_below)
+                .find(|&j| !self.in_basis[j] && self.reduced_cost(j, &y, c) < -TOL)
+        } else {
+            self.price_devex(&y, c, allow_below)
+        };
+        let Some(q) = entering else { return Step::Optimal };
 
         let w = self.ftran(q);
-        let mut leave: Option<(usize, f64)> = None;
-        for (i, &wi) in w.iter().enumerate().take(self.std.m) {
-            if wi > TOL {
-                let theta = self.xb[i] / wi;
-                let better = match leave {
-                    None => true,
-                    Some((li, lt)) => {
-                        theta < lt - TOL
-                            || ((theta - lt).abs() <= TOL && self.basis[i] < self.basis[li])
-                    }
-                };
-                if better {
-                    leave = Some((i, theta));
-                }
-            }
-        }
-        let Some((lr, theta)) = leave else { return Step::Unbounded };
+        let leave = if use_bland {
+            textbook_ratio(&w, &self.xb, &self.basis)
+        } else {
+            harris_ratio(&w, &self.xb, &self.basis)
+        };
+        let Some(lr) = leave else { return Step::Unbounded };
+        let theta = self.xb[lr].max(0.0) / w[lr];
 
         if theta <= TOL {
             self.degenerate_run += 1;
@@ -269,7 +332,11 @@ impl<'a> Core<'a> {
             self.degenerate_run = 0;
         }
 
-        // Update solution and basis inverse (elementary row ops).
+        if !use_bland {
+            self.devex_update(q, lr, w[lr], allow_below);
+        }
+
+        // Update the solution estimate.
         for (i, &wi) in w.iter().enumerate().take(self.std.m) {
             if i != lr {
                 self.xb[i] -= theta * wi;
@@ -280,102 +347,80 @@ impl<'a> Core<'a> {
         }
         self.xb[lr] = theta;
 
-        let m = self.std.m;
-        let piv = w[lr];
-        for j in 0..m {
-            self.binv.a[lr * m + j] /= piv;
-        }
-        for (i, &f) in w.iter().enumerate().take(m) {
-            if i == lr || f == 0.0 {
-                continue;
-            }
-            for j in 0..m {
-                let d = f * self.binv.a[lr * m + j];
-                self.binv.a[i * m + j] -= d;
-            }
-        }
-
         self.in_basis[self.basis[lr]] = false;
         self.in_basis[q] = true;
         self.basis[lr] = q;
         self.iterations += 1;
 
-        if self.iterations.is_multiple_of(REFACTOR_EVERY) {
-            self.refactorise();
+        // Product-form update, then the growth/drift-driven
+        // refactorization policy (no fixed cadence).
+        match Eta::from_dense(&w, lr) {
+            Some(eta) => {
+                self.eta_nnz += eta.nnz();
+                self.etas.push(eta);
+                let grown = self.etas.len() >= eta_limit(self.std.m)
+                    || self.eta_nnz > 2 * self.factor.nnz() + 64;
+                if grown
+                    || (self.iterations.is_multiple_of(DRIFT_CHECK_EVERY)
+                        && self.drift_exceeded())
+                {
+                    self.refactorise();
+                }
+            }
+            // Pivot too small for a stable eta: rebuild from scratch.
+            None => {
+                self.refactorise();
+            }
         }
         Step::Pivoted
     }
 
-    /// Rebuild `B⁻¹` and `x_B` from scratch via Gauss–Jordan on the
-    /// current basis matrix. Returns `false` when a pivot was too small
-    /// (the basis is numerically singular in that direction and the
-    /// previous estimate was kept).
-    fn refactorise(&mut self) -> bool {
-        let mut nonsingular = true;
+    /// `‖B x_B − b‖∞` beyond tolerance means the eta-composed estimate
+    /// has drifted and a refactorization is due.
+    fn drift_exceeded(&self) -> bool {
         let m = self.std.m;
-        // Assemble B column-wise into an augmented [B | I] system.
-        let mut bm = vec![0.0; m * m];
+        let mut r = vec![0.0; m];
         for (k, &j) in self.basis.iter().enumerate() {
+            let xk = self.xb[k];
+            if xk == 0.0 {
+                continue;
+            }
             match self.col(j) {
-                ColRef::Unit(r) => bm[r * m + k] = 1.0,
+                ColRef::Unit(row) => r[row] += xk,
                 ColRef::Sparse(col) => {
-                    for &(r, v) in col {
-                        bm[r * m + k] = v;
+                    for &(row, v) in col {
+                        r[row] += v * xk;
                     }
                 }
             }
         }
-        let mut inv = Square::identity(m);
-        // Gauss-Jordan with partial pivoting.
-        for c in 0..m {
-            let mut p = c;
-            for r in c + 1..m {
-                if bm[r * m + c].abs() > bm[p * m + c].abs() {
-                    p = r;
-                }
+        let scale = 1.0 + self.std.b.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        r.iter()
+            .zip(&self.std.b)
+            .any(|(&ri, &bi)| (ri - bi).abs() > DRIFT_TOL * scale)
+    }
+
+    /// Rebuild the LU factor and `x_B` from scratch off the current
+    /// basis matrix, discarding the eta file. Returns `false` when the
+    /// basis is numerically singular (the previous factor and etas are
+    /// kept as the best available estimate).
+    fn refactorise(&mut self) -> bool {
+        let cols = self.basis_cols();
+        let Some(factor) = SparseLu::factorize(self.std.m, &cols) else {
+            return false;
+        };
+        self.factor = factor;
+        self.etas.clear();
+        self.eta_nnz = 0;
+        let mut xb = self.std.b.clone();
+        self.factor.ftran(&mut xb);
+        for x in &mut xb {
+            if x.abs() < TOL {
+                *x = 0.0;
             }
-            if bm[p * m + c].abs() < 1e-12 {
-                nonsingular = false;
-                continue; // singular direction; keep previous estimate
-            }
-            if p != c {
-                for j in 0..m {
-                    bm.swap(p * m + j, c * m + j);
-                    inv.a.swap(p * m + j, c * m + j);
-                }
-            }
-            let d = bm[c * m + c];
-            for j in 0..m {
-                bm[c * m + j] /= d;
-                inv.a[c * m + j] /= d;
-            }
-            for r in 0..m {
-                if r == c {
-                    continue;
-                }
-                let f = bm[r * m + c];
-                if f == 0.0 {
-                    continue;
-                }
-                for j in 0..m {
-                    bm[r * m + j] -= f * bm[c * m + j];
-                    inv.a[r * m + j] -= f * inv.a[c * m + j];
-                }
-            }
-        }
-        self.binv = inv;
-        // x_B = B⁻¹ b
-        let mut xb = vec![0.0; m];
-        for (i, xbi) in xb.iter_mut().enumerate().take(m) {
-            let row = self.binv.row(i);
-            let mut s = 0.0;
-            for (j, &bj) in self.std.b.iter().enumerate() {
-                s += row[j] * bj;
-            }
-            *xbi = if s.abs() < TOL { 0.0 } else { s };
         }
         self.xb = xb;
-        nonsingular
+        true
     }
 
     fn optimise(
@@ -384,6 +429,9 @@ impl<'a> Core<'a> {
         allow_below: usize,
         limit: u64,
     ) -> Result<bool, LpError> {
+        // Fresh Devex reference frame per phase (the cost vector the
+        // weights approximate steepest-edge against has changed).
+        self.devex.fill(1.0);
         loop {
             if self.iterations > limit {
                 return Err(LpError::IterationLimit(limit));
@@ -414,6 +462,65 @@ impl<'a> Core<'a> {
 enum ColRef<'a> {
     Sparse(&'a [(usize, f64)]),
     Unit(usize),
+}
+
+/// Harris two-pass ratio test. Pass 1 relaxes each binding row by
+/// [`FEAS_TOL`] to compute the loosest admissible step `θ_max`; pass 2
+/// picks, among the rows whose exact ratio fits under `θ_max`, the one
+/// with the **largest pivot magnitude** (numerical stability), breaking
+/// ties toward the smallest basis variable index. Returns the leaving
+/// row, or `None` when the direction is unbounded.
+pub(crate) fn harris_ratio(w: &[f64], xb: &[f64], basis: &[usize]) -> Option<usize> {
+    let mut theta_max = f64::INFINITY;
+    let mut any = false;
+    for (i, &wi) in w.iter().enumerate() {
+        if wi > RATIO_PIVOT_TOL {
+            any = true;
+            let bound = (xb[i].max(0.0) + FEAS_TOL) / wi;
+            if bound < theta_max {
+                theta_max = bound;
+            }
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut best: Option<usize> = None;
+    for (i, &wi) in w.iter().enumerate() {
+        if wi > RATIO_PIVOT_TOL && xb[i].max(0.0) / wi <= theta_max {
+            let better = match best {
+                None => true,
+                Some(bi) => wi > w[bi] || (wi == w[bi] && basis[i] < basis[bi]),
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+    }
+    best
+}
+
+/// The textbook single-pass minimum-ratio test (with the smallest-
+/// basis-index tie-break the solver has always used under Bland's
+/// rule). Kept both as the degenerate-run fallback and as the oracle
+/// the Harris test is proptested against.
+pub(crate) fn textbook_ratio(w: &[f64], xb: &[f64], basis: &[usize]) -> Option<usize> {
+    let mut leave: Option<(usize, f64)> = None;
+    for (i, &wi) in w.iter().enumerate() {
+        if wi > TOL {
+            let theta = xb[i] / wi;
+            let better = match leave {
+                None => true,
+                Some((li, lt)) => {
+                    theta < lt - TOL || ((theta - lt).abs() <= TOL && basis[i] < basis[li])
+                }
+            };
+            if better {
+                leave = Some((i, theta));
+            }
+        }
+    }
+    leave.map(|(i, _)| i)
 }
 
 impl RevisedSimplex {
@@ -489,7 +596,7 @@ impl RevisedSimplex {
         let structure = structure_fingerprint(&std);
         let warm_core = warm
             .filter(|b| b.structure == structure)
-            .and_then(|b| Core::with_basis(&std, b.cols.clone()));
+            .and_then(|b| Core::with_basis(&std, &b.cols));
 
         let mut core = match warm_core {
             // The prior basis is primal-feasible here: skip phase 1.
@@ -535,21 +642,18 @@ impl RevisedSimplex {
 
         let x = core.extract();
         let (values, objective) = std.recover(effective, &x);
+        let iterations = core.iterations;
         // Export the basis only when fully structural: an artificial
         // stuck at zero level cannot be reconstructed by `with_basis`.
+        // The core is finished, so the column vector moves out rather
+        // than being cloned (the old per-solve churn).
         let export = if core.basis.iter().all(|&j| j < n) {
-            Some(Basis { cols: core.basis.clone(), structure })
+            Some(Basis { cols: std::mem::take(&mut core.basis), structure })
         } else {
             None
         };
         Ok((
-            Solution {
-                status: Status::Optimal,
-                objective,
-                values,
-                iterations: core.iterations,
-                degraded: false,
-            },
+            Solution { status: Status::Optimal, objective, values, iterations, degraded: false },
             export,
         ))
     }
@@ -733,5 +837,52 @@ mod tests {
         let without =
             RevisedSimplex { presolve: false, ..Default::default() }.solve(&p).unwrap();
         assert!((with.objective - without.objective).abs() < 1e-6);
+    }
+
+    mod ratio_equivalence {
+        use super::super::{harris_ratio, textbook_ratio};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// On non-degenerate instances — every candidate row's
+            /// ratio separated from the others by a gap far wider than
+            /// the Harris feasibility relaxation — the two-pass Harris
+            /// test must leave on exactly the row the textbook
+            /// minimum-ratio test picks.
+            #[test]
+            fn harris_matches_textbook_when_nondegenerate(
+                mraw in 2u32..12,
+                wvals in proptest::collection::vec(1i32..20, 12),
+                keys in proptest::collection::vec(any::<u32>(), 12),
+                negs in proptest::collection::vec(any::<bool>(), 12),
+            ) {
+                let m = mraw as usize;
+                let mut cand: Vec<usize> = (0..m).filter(|&i| !negs[i]).collect();
+                if cand.is_empty() {
+                    cand.push(0);
+                }
+                // Rank candidate rows by a random key (index tie-break)
+                // so the minimum ratio lands on an arbitrary row, then
+                // hand out ratios with 0.5 gaps: unambiguously
+                // non-degenerate against FEAS_TOL = 1e-7.
+                let mut ranked = cand.clone();
+                ranked.sort_by_key(|&i| (keys[i], i));
+                let mut w = vec![0.0; m];
+                let mut xb = vec![0.0; m];
+                for i in 0..m {
+                    w[i] = -(wvals[i] as f64) / 10.0;
+                    xb[i] = wvals[(i + 1) % 12] as f64 / 10.0;
+                }
+                for (rank, &i) in ranked.iter().enumerate() {
+                    w[i] = wvals[i] as f64 / 10.0;
+                    xb[i] = (1.0 + rank as f64 * 0.5) * w[i];
+                }
+                let basis: Vec<usize> = (0..m).collect();
+                let h = harris_ratio(&w, &xb, &basis);
+                let t = textbook_ratio(&w, &xb, &basis);
+                prop_assert_eq!(h, t);
+                prop_assert_eq!(h, Some(ranked[0]));
+            }
+        }
     }
 }
